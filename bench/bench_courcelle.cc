@@ -1,0 +1,91 @@
+#include <benchmark/benchmark.h>
+
+#include "fgq/mso/courcelle.h"
+#include "fgq/mso/tree_decomposition.h"
+#include "fgq/workload/generators.h"
+
+/// Experiment E5 (Theorem 3.11, [6]): MSO model checking and counting on
+/// bounded-treewidth graphs in linear time (data complexity). We run the
+/// Courcelle-style DP for 3-colorability and independent-set counting on
+/// growing trees and partial k-trees; the curves must be linear in n per
+/// fixed width, with the constant rising in the width (the f(||phi||, w)
+/// factor).
+
+namespace fgq {
+namespace {
+
+void BM_CourcelleColorTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(111);
+  Graph g = RandomTree(n, &rng);
+  TreeDecomposition td = DecomposeMinDegree(g);
+  for (auto _ : state) {
+    auto v = IsQColorable(g, td, 3);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["width"] = static_cast<double>(td.Width());
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CourcelleColorTree)
+    ->Range(1 << 10, 1 << 17)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_CourcelleColorPartialKTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  Rng rng(112);
+  Graph g = RandomPartialKTree(n, k, 30, &rng);
+  TreeDecomposition td = DecomposeMinDegree(g);
+  for (auto _ : state) {
+    auto v = IsQColorable(g, td, 3);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["width"] = static_cast<double>(td.Width());
+}
+BENCHMARK(BM_CourcelleColorPartialKTree)
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CourcelleCountIndependentSets(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  Rng rng(113);
+  Graph g = k == 1 ? RandomTree(n, &rng) : RandomPartialKTree(n, k, 30, &rng);
+  TreeDecomposition td = DecomposeMinDegree(g);
+  std::string digits;
+  for (auto _ : state) {
+    auto c = CountIndependentSets(g, td);
+    if (!c.ok()) state.SkipWithError(c.status().ToString().c_str());
+    digits = c->ToString();
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["width"] = static_cast<double>(td.Width());
+  state.counters["count_digits"] = static_cast<double>(digits.size());
+}
+BENCHMARK(BM_CourcelleCountIndependentSets)
+    ->ArgsProduct({{1 << 8, 1 << 10, 1 << 12}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Decomposition construction cost (part of preprocessing).
+void BM_MinDegreeDecomposition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(114);
+  Graph g = RandomPartialKTree(n, 3, 30, &rng);
+  for (auto _ : state) {
+    TreeDecomposition td = DecomposeMinDegree(g);
+    benchmark::DoNotOptimize(td);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_MinDegreeDecomposition)
+    ->Range(1 << 8, 1 << 12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fgq

@@ -1,0 +1,91 @@
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "fgq/so/sigma_count.h"
+#include "fgq/workload/generators.h"
+
+/// Experiment E19 ([57], Definition 5.4): the Karp-Luby FPRAS for #DNF
+/// (and thus #Sigma1). Exact counting is exponential in the variable
+/// count; the FPRAS runs in O(#clauses / eps^2) trials regardless of the
+/// variable count, paying accuracy for time. We report both the runtime
+/// sweep and the realized relative error against the exact count where
+/// the exact count is still computable.
+
+namespace fgq {
+namespace {
+
+void BM_DnfExact(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  Rng rng(141);
+  DnfFormula dnf = RandomDnf(vars, 10, 3, &rng);
+  for (auto _ : state) {
+    auto c = CountDnfExact(dnf);
+    if (!c.ok()) state.SkipWithError(c.status().ToString().c_str());
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["vars"] = static_cast<double>(vars);
+}
+BENCHMARK(BM_DnfExact)->DenseRange(12, 24, 4)->Unit(benchmark::kMillisecond);
+
+void BM_DnfKarpLuby(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  const double eps = static_cast<double>(state.range(1)) / 100.0;
+  Rng data_rng(141);
+  DnfFormula dnf = RandomDnf(vars, 10, 3, &data_rng);
+  Rng kl_rng(142);
+  for (auto _ : state) {
+    auto c = EstimateDnf(dnf, eps, &kl_rng);
+    if (!c.ok()) state.SkipWithError(c.status().ToString().c_str());
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["vars"] = static_cast<double>(vars);
+  state.counters["eps"] = eps;
+}
+BENCHMARK(BM_DnfKarpLuby)
+    ->ArgsProduct({{12, 24, 48, 96}, {10, 5, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Accuracy: realized |estimate/exact - 1| at eps = 0.05 over several
+/// formulas (reported as a counter; the guarantee is <= eps w.p. 3/4).
+void BM_DnfAccuracy(benchmark::State& state) {
+  Rng data_rng(143);
+  Rng kl_rng(144);
+  double worst = 0;
+  for (auto _ : state) {
+    worst = 0;
+    for (int trial = 0; trial < 5; ++trial) {
+      DnfFormula dnf = RandomDnf(18, 8, 3, &data_rng);
+      auto exact = CountDnfExact(dnf);
+      auto est = EstimateDnf(dnf, 0.05, &kl_rng);
+      if (!exact.ok() || !est.ok()) continue;
+      double ex = exact->ToDouble();
+      if (ex == 0) continue;
+      worst = std::max(worst, std::abs(est->ToDouble() / ex - 1.0));
+    }
+    benchmark::DoNotOptimize(worst);
+  }
+  state.counters["worst_rel_error"] = worst;
+}
+BENCHMARK(BM_DnfAccuracy)->Unit(benchmark::kMillisecond);
+
+/// FPRAS scales with #clauses, not #variables: clause sweep at 10k vars.
+void BM_DnfKarpLubyClauseSweep(benchmark::State& state) {
+  const int clauses = static_cast<int>(state.range(0));
+  Rng data_rng(145);
+  DnfFormula dnf = RandomDnf(10000, clauses, 5, &data_rng);
+  Rng kl_rng(146);
+  for (auto _ : state) {
+    auto c = EstimateDnf(dnf, 0.1, &kl_rng);
+    if (!c.ok()) state.SkipWithError(c.status().ToString().c_str());
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetComplexityN(clauses);
+}
+BENCHMARK(BM_DnfKarpLubyClauseSweep)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace fgq

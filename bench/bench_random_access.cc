@@ -1,0 +1,102 @@
+#include <benchmark/benchmark.h>
+
+#include "fgq/eval/random_access.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+/// Experiment E21 (extension, [23] in Section 4.3's additional
+/// extensions): random access and uniform sampling over a free-connex
+/// answer set. After linear preprocessing, Answer(j) costs time
+/// depending only on the query (binary searches within buckets) — the
+/// per-access cost must stay flat while n grows, and sampling must be
+/// uniform (tested in tests/random_access_test.cc).
+
+namespace fgq {
+namespace {
+
+Database Db(size_t n, Rng* rng) {
+  Database db;
+  Value domain = static_cast<Value>(n);
+  db.PutRelation(RandomRelation("R", 2, n, domain, rng));
+  db.PutRelation(RandomRelation("S", 2, n, domain, rng));
+  db.PutRelation(RandomRelation("B", 1, n / 4 + 1, domain, rng));
+  db.DeclareDomainSize(domain);
+  return db;
+}
+
+ConjunctiveQuery Query() {
+  return ParseConjunctiveQuery("Q(x, y) :- R(x, w), S(y, z), B(z).").value();
+}
+
+void BM_RandomAccessBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(161);
+  Database db = Db(n, &rng);
+  ConjunctiveQuery q = Query();
+  int64_t count = 0;
+  for (auto _ : state) {
+    auto ra = BuildRandomAccess(q, db);
+    if (!ra.ok()) state.SkipWithError(ra.status().ToString().c_str());
+    count = (*ra)->Count();
+    benchmark::DoNotOptimize(ra);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["answers"] = static_cast<double>(count);
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RandomAccessBuild)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_RandomAccessLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(162);
+  Database db = Db(n, &rng);
+  ConjunctiveQuery q = Query();
+  auto ra = BuildRandomAccess(q, db);
+  if (!ra.ok()) {
+    state.SkipWithError(ra.status().ToString().c_str());
+    return;
+  }
+  const int64_t total = (*ra)->Count();
+  if (total == 0) {
+    state.SkipWithError("empty instance");
+    return;
+  }
+  Rng pick(163);
+  for (auto _ : state) {
+    int64_t j =
+        static_cast<int64_t>(pick.Below(static_cast<uint64_t>(total)));
+    auto t = (*ra)->Answer(j);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["answers"] = static_cast<double>(total);
+}
+BENCHMARK(BM_RandomAccessLookup)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_RandomAccessSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(164);
+  Database db = Db(n, &rng);
+  auto ra = BuildRandomAccess(Query(), db);
+  if (!ra.ok() || (*ra)->Count() == 0) {
+    state.SkipWithError("unavailable");
+    return;
+  }
+  Rng pick(165);
+  for (auto _ : state) {
+    auto t = (*ra)->Sample(&pick);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_RandomAccessSample)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace fgq

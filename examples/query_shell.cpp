@@ -1,0 +1,170 @@
+// An interactive mini-shell over the fgq engines.
+//
+// Feed it facts and Datalog-style rules on stdin; it classifies each query
+// (acyclic? free-connex? star size?) and runs the best engine. Intended
+// both as a demo and as a scratchpad for exploring the paper's
+// dichotomies on concrete instances.
+//
+//   ./build/examples/query_shell < script.txt
+//
+// Commands:
+//   fact  <Rel> <v1> <v2> ...      add a fact (strings or ints)
+//   query <rule>                   evaluate, e.g. query Q(x) :- R(x, y).
+//   count <rule>                   count answers without materializing
+//   sample <rule> <k>              k uniform random answers (free-connex)
+//   classify <rule>                structural report only
+//   db                             print the database
+//   help / quit
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fgq/count/acq_count.h"
+#include "fgq/db/loader.h"
+#include "fgq/eval/diseq.h"
+#include "fgq/eval/enumerate.h"
+#include "fgq/eval/oracle.h"
+#include "fgq/eval/random_access.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/star_size.h"
+#include "fgq/query/parser.h"
+
+using namespace fgq;
+
+namespace {
+
+void PrintTuple(const Tuple& t, const Dictionary& dict) {
+  std::cout << "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i) std::cout << ", ";
+    if (t[i] >= 0 && static_cast<size_t>(t[i]) < dict.size()) {
+      std::cout << dict.Lookup(t[i]);
+    } else {
+      std::cout << t[i];
+    }
+  }
+  std::cout << ")";
+}
+
+void Classify(const ConjunctiveQuery& q) {
+  bool acyclic = IsAcyclicQuery(q);
+  std::cout << "  acyclic: " << std::boolalpha << acyclic;
+  if (acyclic) {
+    std::cout << ", free-connex: " << IsFreeConnex(q)
+              << ", star size: " << QuantifiedStarSize(q);
+  }
+  std::cout << ", self-join-free: " << q.IsSelfJoinFree()
+            << ", negation: " << q.HasNegation()
+            << ", comparisons: " << q.comparisons().size() << "\n";
+}
+
+void RunQuery(const ConjunctiveQuery& q, const Database& db,
+              const Dictionary& dict) {
+  Classify(q);
+  Result<Relation> res = Status::Unsupported("");
+  const char* engine = "";
+  if (!q.HasNegation() && q.comparisons().empty() && IsAcyclicQuery(q)) {
+    engine = "Yannakakis";
+    res = EvaluateYannakakis(q, db);
+  } else if (!q.HasNegation() && IsAcyclicQuery(q)) {
+    engine = "ACQ!= (witness elimination, oracle fallback)";
+    res = EvaluateAcqNeq(q, db);
+  } else {
+    engine = "backtracking oracle";
+    res = EvaluateBacktrack(q, db);
+  }
+  if (!res.ok()) {
+    std::cout << "  error: " << res.status() << "\n";
+    return;
+  }
+  std::cout << "  engine: " << engine << ", " << res->NumTuples()
+            << " answers\n";
+  const size_t limit = 20;
+  for (size_t i = 0; i < std::min(limit, res->NumTuples()); ++i) {
+    std::cout << "    ";
+    PrintTuple(res->Row(i).ToTuple(), dict);
+    std::cout << "\n";
+  }
+  if (res->NumTuples() > limit) std::cout << "    ...\n";
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  Dictionary dict;
+  std::string line;
+  std::cout << "fgq shell — 'help' for commands\n";
+  while (std::getline(std::cin, line)) {
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::cout << "fact <Rel> <v>... | query <rule> | count <rule> | "
+                   "sample <rule> <k> | classify <rule> | db | quit\n";
+      continue;
+    }
+    if (cmd == "db") {
+      std::cout << db.ToString() << "\n";
+      continue;
+    }
+    std::string rest;
+    std::getline(ls, rest);
+    if (cmd == "fact") {
+      Status st = LoadFactsFromString(rest, &db, &dict);
+      if (!st.ok()) std::cout << "  " << st << "\n";
+      continue;
+    }
+    if (cmd == "query" || cmd == "count" || cmd == "classify" ||
+        cmd == "sample") {
+      size_t k = 3;
+      if (cmd == "sample") {
+        // Last token is the sample size.
+        size_t pos = rest.find_last_of(' ');
+        if (pos != std::string::npos && pos + 1 < rest.size() &&
+            isdigit(static_cast<unsigned char>(rest[pos + 1]))) {
+          k = static_cast<size_t>(std::stoll(rest.substr(pos + 1)));
+          rest = rest.substr(0, pos);
+        }
+      }
+      auto q = ParseConjunctiveQuery(rest);
+      if (!q.ok()) {
+        std::cout << "  " << q.status() << "\n";
+        continue;
+      }
+      if (cmd == "classify") {
+        Classify(*q);
+      } else if (cmd == "query") {
+        RunQuery(*q, db, dict);
+      } else if (cmd == "count") {
+        auto c = CountAnswers(*q, db);
+        if (c.ok()) {
+          std::cout << "  |phi(D)| = " << *c << "\n";
+        } else {
+          std::cout << "  " << c.status() << "\n";
+        }
+      } else {  // sample
+        auto ra = BuildRandomAccess(*q, db);
+        if (!ra.ok()) {
+          std::cout << "  " << ra.status() << "\n";
+          continue;
+        }
+        std::cout << "  " << (*ra)->Count() << " answers; " << k
+                  << " uniform samples:\n";
+        Rng rng(static_cast<uint64_t>((*ra)->Count()) + 17);
+        for (size_t i = 0; i < k; ++i) {
+          auto t = (*ra)->Sample(&rng);
+          if (!t.ok()) break;
+          std::cout << "    ";
+          PrintTuple(*t, dict);
+          std::cout << "\n";
+        }
+      }
+      continue;
+    }
+    std::cout << "  unknown command '" << cmd << "' — try 'help'\n";
+  }
+  return 0;
+}

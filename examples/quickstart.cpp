@@ -1,0 +1,108 @@
+// Quickstart: the fgq public API in one file.
+//
+// Builds a small database, parses conjunctive queries, checks the
+// structural properties the paper's dichotomies hinge on (acyclicity,
+// free-connexity, quantified star size), and runs the three core engines:
+// Yannakakis evaluation, constant-delay enumeration, and the counting DP.
+//
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "fgq/count/acq_count.h"
+#include "fgq/db/loader.h"
+#include "fgq/eval/enumerate.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/hypergraph/star_size.h"
+#include "fgq/query/parser.h"
+
+using namespace fgq;
+
+int main() {
+  // 1. Load a database from text. Strings are dictionary-encoded.
+  Database db;
+  Dictionary dict;
+  Status st = LoadFactsFromString(
+      "# follows(a, b): a follows b          likes(a, p): a likes post p\n"
+      "Follows alice bob\n"
+      "Follows bob carol\n"
+      "Follows carol dave\n"
+      "Follows alice carol\n"
+      "Likes bob post1\n"
+      "Likes carol post1\n"
+      "Likes carol post2\n"
+      "Likes dave post2\n",
+      &db, &dict);
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "Database: " << db.ToString(4) << "\n\n";
+
+  // 2. Parse a conjunctive query: the friends I follow who liked any
+  // post. This one is free-connex (the head pair lives inside the
+  // Follows atom), so every engine below applies.
+  auto query = ParseConjunctiveQuery(
+      "Q(me, friend) :- Follows(me, friend), Likes(friend, post).");
+  if (!query.ok()) {
+    std::cerr << query.status() << "\n";
+    return 1;
+  }
+  std::cout << "Query: " << query->ToString() << "\n";
+
+  // 3. Structural analysis (Section 4 of the paper).
+  std::cout << "  acyclic:       " << std::boolalpha << IsAcyclicQuery(*query)
+            << "\n"
+            << "  free-connex:   " << IsFreeConnex(*query) << "\n"
+            << "  star size:     " << QuantifiedStarSize(*query) << "\n\n";
+
+  // 4. Evaluate with Yannakakis (Theorem 4.2).
+  auto answers = EvaluateYannakakis(*query, db);
+  if (!answers.ok()) {
+    std::cerr << answers.status() << "\n";
+    return 1;
+  }
+  std::cout << "phi(D) has " << answers->NumTuples() << " answers:\n";
+  for (size_t i = 0; i < answers->NumTuples(); ++i) {
+    std::cout << "  (" << dict.Lookup(answers->Row(i)[0]) << ", "
+              << dict.Lookup(answers->Row(i)[1]) << ")\n";
+  }
+
+  // 5. Enumerate the same answers with constant delay (Theorem 4.6):
+  // linear preprocessing, then data-independent work per answer.
+  auto enumerator = MakeConstantDelayEnumerator(*query, db);
+  if (!enumerator.ok()) {
+    std::cerr << enumerator.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nConstant-delay enumeration:\n";
+  Tuple t;
+  while ((*enumerator)->Next(&t)) {
+    std::cout << "  (" << dict.Lookup(t[0]) << ", " << dict.Lookup(t[1])
+              << ")\n";
+  }
+
+  // 6. Count without enumerating (Theorem 4.21 / 4.28).
+  auto count = CountAcq(*query, db);
+  if (!count.ok()) {
+    std::cerr << count.status() << "\n";
+    return 1;
+  }
+  std::cout << "\n|phi(D)| = " << *count << "\n";
+
+  // 7. The matrix-shaped variant — posts liked by someone I follow — is
+  // acyclic but NOT free-connex (its star size is 2). The constant-delay
+  // engine rejects it with Theorem 4.8's explanation, yet the counting
+  // engine still handles it through the star-size pipeline.
+  auto pi = ParseConjunctiveQuery(
+      "Reach(me, post) :- Follows(me, friend), Likes(friend, post).");
+  std::cout << "\nMatrix-shaped query: " << pi->ToString() << "\n"
+            << "  free-connex: " << IsFreeConnex(*pi)
+            << ", star size: " << QuantifiedStarSize(*pi) << "\n";
+  auto rejected = MakeConstantDelayEnumerator(*pi, db);
+  std::cout << "  constant-delay engine says: " << rejected.status() << "\n";
+  std::cout << "  counting engine still works: |Reach(D)| = "
+            << *CountAcq(*pi, db) << "\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Social-network analytics: top-k style early termination with
+// constant-delay enumeration (the paper's motivating scenario for
+// enumeration — "one can start exploiting the first answers while waiting
+// for the others").
+//
+// A synthetic follower graph with ~100k edges is queried for pairs of
+// users with a common interest. The materializing engine must finish the
+// whole join before the first answer; the constant-delay enumerator
+// serves the first answers immediately after a linear preprocessing pass
+// and can stop after k answers, paying nothing for the rest.
+//
+//   ./build/examples/social_network [n]
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "fgq/eval/enumerate.h"
+#include "fgq/eval/ucq_enum.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+using namespace fgq;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start)
+             .count() /
+         1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 5000;
+  Rng rng(2020);
+  Database db;
+  Value users = static_cast<Value>(n / 10);
+  db.PutRelation(RandomRelation("Follows", 2, n, users, &rng));
+  db.PutRelation(RandomRelation("Interest", 2, n, users, &rng));
+  db.PutRelation(RandomRelation("Likes", 2, n, users, &rng));
+  db.PutRelation(RandomRelation("Active", 1, n / 10, users, &rng));
+  db.DeclareDomainSize(users);
+  std::cout << "Synthetic network: " << n << " follow edges, " << users
+            << " users, ||D|| = " << db.SizeWeight() << "\n\n";
+
+  // "Pairs (a, b) where a follows someone and b has an active interest":
+  // free-connex, so constant-delay enumerable.
+  auto query = ParseConjunctiveQuery(
+      "Pairs(a, b) :- Follows(a, f), Interest(b, i), Active(i).");
+  if (!query.ok()) {
+    std::cerr << query.status() << "\n";
+    return 1;
+  }
+  std::cout << "Query: " << query->ToString() << "\n";
+  std::cout << "free-connex: " << std::boolalpha << IsFreeConnex(*query)
+            << "\n\n";
+
+  constexpr int kTopK = 10;
+
+  // Route 1: materialize everything, then take the first k.
+  Clock::time_point start = Clock::now();
+  auto all = EvaluateYannakakis(*query, db);
+  if (!all.ok()) {
+    std::cerr << all.status() << "\n";
+    return 1;
+  }
+  double materialize_ms = MsSince(start);
+  std::cout << "materialize-first: " << all->NumTuples() << " answers in "
+            << materialize_ms << " ms before the first one is usable\n";
+
+  // Route 2: constant-delay enumeration, stop after k.
+  start = Clock::now();
+  auto e = MakeConstantDelayEnumerator(*query, db);
+  if (!e.ok()) {
+    std::cerr << e.status() << "\n";
+    return 1;
+  }
+  double preprocess_ms = MsSince(start);
+  Tuple t;
+  int produced = 0;
+  start = Clock::now();
+  while (produced < kTopK && (*e)->Next(&t)) ++produced;
+  double first_k_ms = MsSince(start);
+  std::cout << "constant-delay:    first " << produced << " answers after "
+            << preprocess_ms << " ms preprocessing + " << first_k_ms
+            << " ms enumeration\n\n";
+
+  // A union query shaped like the paper's Equation (1): the first
+  // disjunct is not free-connex, but the second provides the variables
+  // {a, b, c} through a body homomorphism, so the union extension repairs
+  // it (Theorem 4.13).
+  auto ucq = ParseUnionQuery(
+      "R(a, c, w) :- Follows(a, b), Interest(b, c), Likes(a, w).\n"
+      "R(a, c, w) :- Follows(a, c), Interest(c, w).");
+  if (!ucq.ok()) {
+    std::cerr << ucq.status() << "\n";
+    return 1;
+  }
+  std::cout << "Union query:\n" << ucq->ToString() << "\n";
+  start = Clock::now();
+  auto ue = MakeUnionEnumerator(*ucq, db);
+  if (!ue.ok()) {
+    std::cout << "union enumeration unavailable: " << ue.status() << "\n";
+    return 0;
+  }
+  produced = 0;
+  while (produced < kTopK && (*ue)->Next(&t)) ++produced;
+  std::cout << "union extension produced the first " << produced
+            << " answers in " << MsSince(start) << " ms\n";
+  return 0;
+}

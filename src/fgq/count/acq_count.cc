@@ -1,0 +1,138 @@
+#include "fgq/count/acq_count.h"
+
+#include <algorithm>
+
+#include "fgq/eval/oracle.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/star_size.h"
+
+namespace fgq {
+
+std::vector<size_t> SharedColumnOrder(const PreparedAtom& node,
+                                      const PreparedAtom& parent) {
+  std::vector<std::string> shared;
+  for (const std::string& v : node.vars) {
+    if (parent.VarIndex(v) >= 0) shared.push_back(v);
+  }
+  std::sort(shared.begin(), shared.end());
+  std::vector<size_t> cols;
+  for (const std::string& v : shared) {
+    cols.push_back(static_cast<size_t>(node.VarIndex(v)));
+  }
+  return cols;
+}
+
+namespace {
+
+/// Rewrites a quantified ACQ into an equivalent quantifier-free ACQ over
+/// an enriched database (the S-component materialization of Theorem
+/// 4.28). Returns the new query; the new relations are added to
+/// `scratch`.
+Result<ConjunctiveQuery> MaterializeComponents(const ConjunctiveQuery& q,
+                                               const Database& db,
+                                               Database* scratch) {
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  std::vector<int> s_ids;
+  for (const std::string& v : q.head()) {
+    int id = hg.FindVertex(v);
+    if (id >= 0) s_ids.push_back(id);
+  }
+  std::vector<SComponent> comps = DecomposeSComponents(hg, s_ids);
+
+  ConjunctiveQuery out(q.name(), q.head(), {});
+  // Atoms fully inside S pass through unchanged.
+  std::vector<bool> in_component(q.atoms().size(), false);
+  for (const SComponent& comp : comps) {
+    for (int e : comp.edges) {
+      int atom_idx = hg.EdgeLabel(e);
+      in_component[atom_idx] = true;
+    }
+  }
+  for (size_t i = 0; i < q.atoms().size(); ++i) {
+    if (!in_component[i]) out.AddAtom(q.atoms()[i]);
+  }
+
+  // Each component becomes one fresh atom over its free variables, whose
+  // relation is the component subquery's answer set.
+  int comp_id = 0;
+  for (const SComponent& comp : comps) {
+    std::vector<std::string> comp_head;
+    for (int v : comp.s_vertices) comp_head.push_back(hg.VertexName(v));
+    ConjunctiveQuery sub("comp" + std::to_string(comp_id), comp_head, {});
+    for (int e : comp.edges) {
+      sub.AddAtom(q.atoms()[hg.EdgeLabel(e)]);
+    }
+    FGQ_ASSIGN_OR_RETURN(Relation res, EvaluateYannakakis(sub, db));
+    std::string rel_name = "__" + q.name() + "_comp" + std::to_string(comp_id);
+    res.set_name(rel_name);
+    scratch->PutRelation(std::move(res));
+    Atom a;
+    a.relation = rel_name;
+    for (const std::string& v : comp_head) a.args.push_back(Term::Var(v));
+    // A component with no free variable is a Boolean condition: keep it as
+    // a nullary atom (empty => whole count is zero).
+    out.AddAtom(std::move(a));
+    ++comp_id;
+  }
+  return out;
+}
+
+/// Merges `db` and `scratch` views: counting runs against a database that
+/// contains both the original and the materialized relations.
+Database MergeViews(const Database& db, const Database& scratch) {
+  Database merged;
+  for (const auto& [name, rel] : db.relations()) merged.PutRelation(rel);
+  for (const auto& [name, rel] : scratch.relations()) merged.PutRelation(rel);
+  return merged;
+}
+
+}  // namespace
+
+Result<BigInt> CountAcq(const ConjunctiveQuery& q, const Database& db) {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  if (q.HasNegation() || !q.comparisons().empty()) {
+    return Status::Unsupported("CountAcq handles plain ACQ");
+  }
+  if (!IsAcyclicQuery(q)) {
+    return Status::InvalidArgument("query is not acyclic: " + q.ToString());
+  }
+  auto ones = [](Value) { return BigInt(1); };
+  if (q.ExistentialVariables().empty()) {
+    return WeightedCountAcq0<BigIntField>(q, db, ones);
+  }
+  Database scratch;
+  FGQ_ASSIGN_OR_RETURN(ConjunctiveQuery qf,
+                       MaterializeComponents(q, db, &scratch));
+  Database merged = MergeViews(db, scratch);
+  if (!IsAcyclicQuery(qf)) {
+    return Status::Internal(
+        "S-component materialization produced a cyclic query for: " +
+        q.ToString());
+  }
+  return WeightedCountAcq0<BigIntField>(qf, merged, ones);
+}
+
+Result<double> WeightedCountAcq(const ConjunctiveQuery& q, const Database& db,
+                                const std::function<double(Value)>& weight) {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  if (q.ExistentialVariables().empty()) {
+    return WeightedCountAcq0<DoubleField>(q, db, weight);
+  }
+  Database scratch;
+  FGQ_ASSIGN_OR_RETURN(ConjunctiveQuery qf,
+                       MaterializeComponents(q, db, &scratch));
+  Database merged = MergeViews(db, scratch);
+  return WeightedCountAcq0<DoubleField>(qf, merged, weight);
+}
+
+Result<BigInt> CountAnswers(const ConjunctiveQuery& q, const Database& db) {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  if (!q.HasNegation() && q.comparisons().empty() && IsAcyclicQuery(q)) {
+    return CountAcq(q, db);
+  }
+  // Exponential fallback: materialize with the oracle.
+  FGQ_ASSIGN_OR_RETURN(Relation res, EvaluateBacktrack(q, db));
+  return BigInt(static_cast<int64_t>(res.NumTuples()));
+}
+
+}  // namespace fgq

@@ -1,0 +1,61 @@
+#ifndef FGQ_COUNT_FIELDS_H_
+#define FGQ_COUNT_FIELDS_H_
+
+#include <cstdint>
+
+#include "fgq/util/bigint.h"
+
+/// \file fields.h
+/// Coefficient fields for weighted counting (Section 4.4).
+///
+/// The weighted counting problem #F-ACQ sums, over all answers, the
+/// product of per-element weights drawn from a field F. The counting DP
+/// (acq_count.h) is templated over these field types; plain counting is
+/// weighted counting over the integers with all weights 1.
+
+namespace fgq {
+
+/// IEEE doubles (the "numerical aggregation" instantiation).
+struct DoubleField {
+  using ValueType = double;
+  static ValueType Zero() { return 0.0; }
+  static ValueType One() { return 1.0; }
+  static ValueType Add(ValueType a, ValueType b) { return a + b; }
+  static ValueType Mul(ValueType a, ValueType b) { return a * b; }
+};
+
+/// The prime field Z_p (used to check the DP against overflow-free
+/// modular arithmetic; p must be prime and < 2^31 so products fit).
+template <uint64_t P>
+struct ModField {
+  using ValueType = uint64_t;
+  static ValueType Zero() { return 0; }
+  static ValueType One() { return 1 % P; }
+  static ValueType Add(ValueType a, ValueType b) { return (a + b) % P; }
+  static ValueType Mul(ValueType a, ValueType b) { return (a * b) % P; }
+};
+
+/// Exact integers of arbitrary size (the default for counting: answer
+/// counts are products of relation sizes and overflow machine words
+/// quickly).
+struct BigIntField {
+  using ValueType = BigInt;
+  static ValueType Zero() { return BigInt(0); }
+  static ValueType One() { return BigInt(1); }
+  static ValueType Add(const ValueType& a, const ValueType& b) { return a + b; }
+  static ValueType Mul(const ValueType& a, const ValueType& b) { return a * b; }
+};
+
+/// 64-bit wrap-around integers (fast path when the caller knows counts
+/// fit; also usable as Z_2^64 for property tests).
+struct Int64Field {
+  using ValueType = int64_t;
+  static ValueType Zero() { return 0; }
+  static ValueType One() { return 1; }
+  static ValueType Add(ValueType a, ValueType b) { return a + b; }
+  static ValueType Mul(ValueType a, ValueType b) { return a * b; }
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_COUNT_FIELDS_H_

@@ -1,0 +1,117 @@
+#include "fgq/count/matchings.h"
+
+#include "fgq/count/acq_count.h"
+
+namespace fgq {
+
+Result<BigInt> CountPerfectMatchingsRyser(const BipartiteGraph& g) {
+  const size_t n = g.n();
+  if (n == 0) return BigInt(1);
+  if (n > 20) {
+    return Status::InvalidArgument("Ryser permanent limited to n <= 20");
+  }
+  // Gray-code walk over non-empty column subsets, maintaining per-row sums.
+  std::vector<__int128> row_sum(n, 0);
+  __int128 total = 0;
+  uint64_t gray_prev = 0;
+  for (uint64_t k = 1; k < (uint64_t{1} << n); ++k) {
+    uint64_t gray = k ^ (k >> 1);
+    uint64_t diff = gray ^ gray_prev;
+    gray_prev = gray;
+    int j = __builtin_ctzll(diff);
+    int sign_delta = (gray >> j) & 1 ? 1 : -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (g.adj[i][static_cast<size_t>(j)]) row_sum[i] += sign_delta;
+    }
+    __int128 prod = 1;
+    for (size_t i = 0; i < n && prod != 0; ++i) prod *= row_sum[i];
+    int popcount = __builtin_popcountll(gray);
+    // (-1)^(n - |S|) * prod.
+    if ((n - static_cast<size_t>(popcount)) % 2 == 0) {
+      total += prod;
+    } else {
+      total -= prod;
+    }
+  }
+  // Convert the 128-bit total to BigInt limb by limb.
+  bool neg = total < 0;
+  unsigned __int128 mag =
+      neg ? static_cast<unsigned __int128>(-total)
+          : static_cast<unsigned __int128>(total);
+  BigInt result(0);
+  BigInt base = BigInt::Pow2(32);
+  for (int limb = 3; limb >= 0; --limb) {
+    uint32_t part = static_cast<uint32_t>(mag >> (32 * limb));
+    result = result * base + BigInt(static_cast<int64_t>(part));
+  }
+  if (neg) result = -result;
+  return result;
+}
+
+Database BuildMatchingDatabase(const BipartiteGraph& g) {
+  const Value n = static_cast<Value>(g.n());
+  Database db;
+  Relation p("P", 2);
+  for (Value i = 0; i < n; ++i) {
+    for (Value j = 0; j < n; ++j) {
+      if (g.adj[static_cast<size_t>(i)][static_cast<size_t>(j)]) {
+        p.Add({i, n + j});
+      }
+    }
+  }
+  Relation e("E", 2);
+  for (Value b = 0; b < n; ++b) {
+    for (Value b2 = 0; b2 < n; ++b2) {
+      if (b != b2) e.Add({n + b, n + b2});
+    }
+  }
+  db.PutRelation(std::move(p));
+  db.PutRelation(std::move(e));
+  db.DeclareDomainSize(2 * n);
+  return db;
+}
+
+namespace {
+
+std::vector<std::string> MatchingHead(size_t n) {
+  std::vector<std::string> head;
+  for (size_t i = 0; i < n; ++i) head.push_back("x" + std::to_string(i));
+  return head;
+}
+
+}  // namespace
+
+ConjunctiveQuery BuildMatchingPhi(size_t n) {
+  ConjunctiveQuery q("phi", MatchingHead(n), {});
+  for (size_t i = 0; i < n; ++i) {
+    Atom a;
+    a.relation = "P";
+    a.args = {Term::Const(static_cast<Value>(i)),
+              Term::Var("x" + std::to_string(i))};
+    q.AddAtom(std::move(a));
+  }
+  return q;
+}
+
+ConjunctiveQuery BuildMatchingPsi(size_t n) {
+  ConjunctiveQuery q = BuildMatchingPhi(n);
+  q.set_name("psi");
+  for (size_t i = 0; i < n; ++i) {
+    Atom a;
+    a.relation = "E";
+    a.args = {Term::Var("t"), Term::Var("x" + std::to_string(i))};
+    q.AddAtom(std::move(a));
+  }
+  return q;
+}
+
+Result<BigInt> CountPerfectMatchingsViaQuery(const BipartiteGraph& g) {
+  const size_t n = g.n();
+  if (n == 0) return BigInt(1);
+  Database db = BuildMatchingDatabase(g);
+  FGQ_ASSIGN_OR_RETURN(BigInt phi_count, CountAcq(BuildMatchingPhi(n), db));
+  FGQ_ASSIGN_OR_RETURN(BigInt psi_count, CountAcq(BuildMatchingPsi(n), db));
+  return phi_count - psi_count;
+}
+
+}  // namespace fgq

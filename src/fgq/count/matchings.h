@@ -1,0 +1,62 @@
+#ifndef FGQ_COUNT_MATCHINGS_H_
+#define FGQ_COUNT_MATCHINGS_H_
+
+#include <vector>
+
+#include "fgq/db/database.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/bigint.h"
+#include "fgq/util/status.h"
+
+/// \file matchings.h
+/// The perfect-matching reduction of Equation (2) (Section 4.4).
+///
+/// The survey shows that counting answers of acyclic queries with even a
+/// single quantified variable is #P-hard, by expressing the number of
+/// perfect matchings of a bipartite graph as |phi(G)| - |psi(G)| where
+///
+///   phi(x1..xn)  =  /\_i P(a_i, x_i)
+///   psi(x1..xn)  =  exists t  /\_i P(a_i, x_i) /\ E(t, x_i)
+///
+/// phi counts all neighbor-choice tuples and psi those that miss some
+/// right-hand vertex (i.e. are not surjective, hence not matchings). The
+/// survey compresses adjacency and the "missed vertex" relation into one
+/// symbol E; we keep them as two symbols P and E (E = the inequality
+/// clique on the right-hand side) so the identity is exact — the
+/// structural point, a quantified star of size n, is unchanged.
+///
+/// psi has quantified star size n, so CountAcq's component pipeline pays
+/// ||D||^Theta(n) — exactly the blow-up Theorem 4.28 predicts. The Ryser
+/// permanent baseline provides the ground truth.
+
+namespace fgq {
+
+/// A bipartite graph on [0,n) x [0,n): adj[i][j] == true iff a_i ~ b_j.
+struct BipartiteGraph {
+  std::vector<std::vector<bool>> adj;
+
+  size_t n() const { return adj.size(); }
+};
+
+/// Exact permanent of the adjacency matrix via Ryser's formula with Gray
+/// code subset traversal, O(2^n * n). Requires n <= 20.
+Result<BigInt> CountPerfectMatchingsRyser(const BipartiteGraph& g);
+
+/// Builds the query database: domain [0, 2n), left vertices are [0, n),
+/// right vertices are [n, 2n); P = adjacency, E = right-side disequality
+/// clique.
+Database BuildMatchingDatabase(const BipartiteGraph& g);
+
+/// The query phi of Equation (2) (quantifier-free, acyclic).
+ConjunctiveQuery BuildMatchingPhi(size_t n);
+
+/// The query psi of Equation (2) (one quantified variable, star size n).
+ConjunctiveQuery BuildMatchingPsi(size_t n);
+
+/// #PM(g) computed as |phi(G)| - |psi(G)| through the ACQ counting
+/// engine. Exponential in n (that is the point); keep n small.
+Result<BigInt> CountPerfectMatchingsViaQuery(const BipartiteGraph& g);
+
+}  // namespace fgq
+
+#endif  // FGQ_COUNT_MATCHINGS_H_

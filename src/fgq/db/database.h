@@ -1,0 +1,63 @@
+#ifndef FGQ_DB_DATABASE_H_
+#define FGQ_DB_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fgq/db/relation.h"
+#include "fgq/util/status.h"
+
+/// \file database.h
+/// A database is a finite relational structure: a set of named relations
+/// over a shared integer domain (Section 2.1 of the paper).
+
+namespace fgq {
+
+/// A finite relational structure.
+class Database {
+ public:
+  /// Adds a relation; fails if a relation with the same name exists.
+  Status AddRelation(Relation rel);
+
+  /// Adds or replaces a relation.
+  void PutRelation(Relation rel);
+
+  /// Looks up a relation by name.
+  Result<const Relation*> Find(const std::string& name) const;
+
+  /// Mutable lookup (used by rewriting passes that enrich the database).
+  Result<Relation*> FindMutable(const std::string& name);
+
+  bool Has(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// Number of distinct domain elements assumed: 1 + the largest value in
+  /// any relation, unless a larger domain was declared explicitly.
+  Value DomainSize() const;
+
+  /// Declares that the domain is [0, n) even if not all values occur.
+  void DeclareDomainSize(Value n) { declared_domain_ = n; }
+
+  /// ||D|| in the paper's size measure (Section 2.1).
+  size_t SizeWeight() const;
+
+  /// The degree of the structure: the maximum over domain elements of the
+  /// number of tuples the element appears in (Section 3.1).
+  size_t Degree() const;
+
+  std::string ToString(size_t per_relation_limit = 10) const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+  Value declared_domain_ = 0;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_DB_DATABASE_H_

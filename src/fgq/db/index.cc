@@ -1,0 +1,29 @@
+#include "fgq/db/index.h"
+
+namespace fgq {
+
+HashIndex::HashIndex(const Relation& rel, std::vector<size_t> key_cols)
+    : key_cols_(std::move(key_cols)) {
+  const size_t n = rel.NumTuples();
+  buckets_.reserve(n);
+  Tuple key(key_cols_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Value* row = rel.RowData(i);
+    for (size_t j = 0; j < key_cols_.size(); ++j) key[j] = row[key_cols_[j]];
+    buckets_[key].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+const std::vector<uint32_t>& HashIndex::LookupRow(
+    const Value* row, const std::vector<size_t>& probe_cols) const {
+  Tuple key(probe_cols.size());
+  for (size_t j = 0; j < probe_cols.size(); ++j) key[j] = row[probe_cols[j]];
+  return Lookup(key);
+}
+
+}  // namespace fgq

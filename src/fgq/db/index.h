@@ -1,0 +1,49 @@
+#ifndef FGQ_DB_INDEX_H_
+#define FGQ_DB_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fgq/db/relation.h"
+#include "fgq/util/hash.h"
+
+/// \file index.h
+/// Hash index over a subset of a relation's columns.
+///
+/// Used by semijoins, joins, and the constant-delay enumeration phase:
+/// a single O(N) build gives O(1) expected probes, which is what turns
+/// Yannakakis' passes into the linear-time preprocessing the paper's
+/// Constant-Delay_lin class requires.
+
+namespace fgq {
+
+/// Immutable hash index mapping key-column values to the matching row ids.
+class HashIndex {
+ public:
+  /// Builds an index on `rel` keyed by `key_cols` (in that order).
+  HashIndex(const Relation& rel, std::vector<size_t> key_cols);
+
+  /// Rows whose key columns equal `key`. The returned reference is valid
+  /// for the lifetime of the index.
+  const std::vector<uint32_t>& Lookup(const Tuple& key) const;
+
+  /// Convenience probe from a full row of another relation: extracts
+  /// `probe_cols` from `row` and looks them up.
+  const std::vector<uint32_t>& LookupRow(const Value* row,
+                                         const std::vector<size_t>& probe_cols) const;
+
+  bool ContainsKey(const Tuple& key) const { return !Lookup(key).empty(); }
+
+  size_t NumKeys() const { return buckets_.size(); }
+  const std::vector<size_t>& key_cols() const { return key_cols_; }
+
+ private:
+  std::vector<size_t> key_cols_;
+  std::unordered_map<Tuple, std::vector<uint32_t>, VecHash> buckets_;
+  std::vector<uint32_t> empty_;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_DB_INDEX_H_

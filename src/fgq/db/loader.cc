@@ -1,0 +1,67 @@
+#include "fgq/db/loader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fgq {
+
+namespace {
+
+bool ParseInteger(const std::string& tok, Value* out) {
+  if (tok.empty()) return false;
+  size_t i = tok[0] == '-' ? 1 : 0;
+  if (i == tok.size()) return false;
+  for (; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return false;
+  }
+  *out = std::strtoll(tok.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+Status LoadFactsFromString(const std::string& text, Database* db,
+                           Dictionary* dict) {
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string rel_name;
+    if (!(ls >> rel_name) || rel_name[0] == '#') continue;
+    std::vector<Value> values;
+    std::string tok;
+    while (ls >> tok) {
+      Value v;
+      if (!ParseInteger(tok, &v)) v = dict->Intern(tok);
+      values.push_back(v);
+    }
+    if (!db->Has(rel_name)) {
+      db->PutRelation(Relation(rel_name, values.size()));
+    }
+    Relation* rel = db->FindMutable(rel_name).value();
+    if (rel->arity() != values.size()) {
+      return Status::ParseError("line " + std::to_string(lineno) +
+                                ": arity mismatch for relation '" + rel_name +
+                                "' (expected " + std::to_string(rel->arity()) +
+                                ", got " + std::to_string(values.size()) + ")");
+    }
+    rel->Add(values);
+  }
+  return Status::OK();
+}
+
+Status LoadFactsFromFile(const std::string& path, Database* db,
+                         Dictionary* dict) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return LoadFactsFromString(buf.str(), db, dict);
+}
+
+}  // namespace fgq

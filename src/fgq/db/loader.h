@@ -1,0 +1,32 @@
+#ifndef FGQ_DB_LOADER_H_
+#define FGQ_DB_LOADER_H_
+
+#include <string>
+
+#include "fgq/db/database.h"
+#include "fgq/db/value.h"
+#include "fgq/util/status.h"
+
+/// \file loader.h
+/// Text ingestion for examples and ad-hoc experiments.
+///
+/// Format: one fact per line, `RelName<TAB>v1<TAB>v2...` (or
+/// whitespace-separated). Values that parse as integers are used verbatim;
+/// anything else is dictionary-encoded. Lines starting with '#' and blank
+/// lines are skipped.
+
+namespace fgq {
+
+/// Parses facts from a string buffer into `db`, interning strings in
+/// `dict`. Relations are created on first use with the arity of the first
+/// fact; later facts with a different arity are an error.
+Status LoadFactsFromString(const std::string& text, Database* db,
+                           Dictionary* dict);
+
+/// Reads a file and delegates to LoadFactsFromString.
+Status LoadFactsFromFile(const std::string& path, Database* db,
+                         Dictionary* dict);
+
+}  // namespace fgq
+
+#endif  // FGQ_DB_LOADER_H_

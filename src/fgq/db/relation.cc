@@ -1,0 +1,154 @@
+#include "fgq/db/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace fgq {
+
+void Relation::Add(const Tuple& t) {
+  assert(t.size() == arity_);
+  if (arity_ == 0) {
+    zero_arity_count_ = 1;
+    return;
+  }
+  data_.insert(data_.end(), t.begin(), t.end());
+}
+
+void Relation::AddRow(const Value* t) {
+  if (arity_ == 0) {
+    zero_arity_count_ = 1;
+    return;
+  }
+  data_.insert(data_.end(), t, t + arity_);
+}
+
+void Relation::AddNullary() {
+  assert(arity_ == 0);
+  zero_arity_count_ = 1;
+}
+
+namespace {
+
+// Sorts row indexes of a flat row-major buffer by the given column order
+// and rewrites the buffer in place.
+void SortRows(std::vector<Value>* data, size_t arity,
+              const std::vector<size_t>& cols) {
+  if (arity == 0 || data->empty()) return;
+  const size_t n = data->size() / arity;
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const Value* base = data->data();
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Value* ra = base + static_cast<size_t>(a) * arity;
+    const Value* rb = base + static_cast<size_t>(b) * arity;
+    for (size_t c : cols) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    return false;
+  });
+  std::vector<Value> out(data->size());
+  for (size_t i = 0; i < n; ++i) {
+    const Value* src = base + static_cast<size_t>(order[i]) * arity;
+    std::copy(src, src + arity, out.begin() + i * arity);
+  }
+  *data = std::move(out);
+}
+
+}  // namespace
+
+void Relation::SortDedup() {
+  if (arity_ == 0 || data_.empty()) return;
+  std::vector<size_t> cols(arity_);
+  std::iota(cols.begin(), cols.end(), 0);
+  SortRows(&data_, arity_, cols);
+  // In-place dedup of equal consecutive rows.
+  size_t n = data_.size() / arity_;
+  size_t w = 1;
+  for (size_t i = 1; i < n; ++i) {
+    const Value* prev = &data_[(w - 1) * arity_];
+    const Value* cur = &data_[i * arity_];
+    if (!std::equal(cur, cur + arity_, prev)) {
+      if (w != i) std::copy(cur, cur + arity_, data_.begin() + w * arity_);
+      ++w;
+    }
+  }
+  data_.resize(w * arity_);
+}
+
+void Relation::SortBy(const std::vector<size_t>& cols) {
+  SortRows(&data_, arity_, cols);
+}
+
+Relation Relation::Project(const std::vector<size_t>& cols,
+                           const std::string& name) const {
+  Relation out(name, cols.size());
+  const size_t n = NumTuples();
+  if (cols.empty()) {
+    if (n > 0) out.AddNullary();
+    return out;
+  }
+  Tuple t(cols.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Value* row = RowData(i);
+    for (size_t j = 0; j < cols.size(); ++j) t[j] = row[cols[j]];
+    out.Add(t);
+  }
+  out.SortDedup();
+  return out;
+}
+
+void Relation::Filter(const std::function<bool(TupleView)>& pred) {
+  if (arity_ == 0) {
+    if (zero_arity_count_ > 0 && !pred(TupleView{nullptr, 0})) {
+      zero_arity_count_ = 0;
+    }
+    return;
+  }
+  size_t n = NumTuples();
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (pred(Row(i))) {
+      if (w != i) {
+        std::copy(RowData(i), RowData(i) + arity_, data_.begin() + w * arity_);
+      }
+      ++w;
+    }
+  }
+  data_.resize(w * arity_);
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  assert(t.size() == arity_);
+  if (arity_ == 0) return zero_arity_count_ > 0;
+  const size_t n = NumTuples();
+  for (size_t i = 0; i < n; ++i) {
+    if (std::equal(t.begin(), t.end(), RowData(i))) return true;
+  }
+  return false;
+}
+
+Value Relation::MaxValue() const {
+  Value m = -1;
+  for (Value v : data_) m = std::max(m, v);
+  return m;
+}
+
+std::string Relation::ToString(size_t limit) const {
+  std::ostringstream os;
+  os << name_ << "/" << arity_ << " [" << NumTuples() << " tuples]";
+  const size_t n = std::min(limit, NumTuples());
+  for (size_t i = 0; i < n; ++i) {
+    os << "\n  (";
+    for (size_t j = 0; j < arity_; ++j) {
+      if (j) os << ", ";
+      os << Row(i)[j];
+    }
+    os << ")";
+  }
+  if (NumTuples() > limit) os << "\n  ...";
+  return os.str();
+}
+
+}  // namespace fgq

@@ -1,0 +1,97 @@
+#ifndef FGQ_DB_RELATION_H_
+#define FGQ_DB_RELATION_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fgq/db/value.h"
+#include "fgq/util/status.h"
+
+/// \file relation.h
+/// Row-major relation storage.
+///
+/// A Relation is a named bag of fixed-arity tuples stored contiguously
+/// (row-major in one flat vector). All evaluation algorithms treat
+/// relations as sets; Relation::SortDedup establishes set semantics in
+/// O(N log N), matching the paper's convention that the input encoding
+/// induces a linear order on tuples.
+
+namespace fgq {
+
+/// A borrowed view of one tuple (a row of a Relation).
+struct TupleView {
+  const Value* data = nullptr;
+  size_t arity = 0;
+
+  Value operator[](size_t i) const { return data[i]; }
+  Tuple ToTuple() const { return Tuple(data, data + arity); }
+};
+
+/// A named finite relation of fixed arity.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  size_t arity() const { return arity_; }
+  size_t NumTuples() const { return arity_ == 0 ? zero_arity_count_ : data_.size() / arity_; }
+  bool empty() const { return NumTuples() == 0; }
+
+  /// ||R|| contribution in the paper's size measure: #tuples * arity.
+  size_t SizeWeight() const { return NumTuples() * arity_; }
+
+  /// Appends a tuple. The tuple length must equal arity().
+  void Add(const Tuple& t);
+  /// Appends a tuple from a raw pointer of arity() values. (Named
+  /// differently from Add so brace-initializer calls never decay to a
+  /// null pointer.)
+  void AddRow(const Value* t);
+  /// Appends a 0-ary "present" marker (for Boolean relations).
+  void AddNullary();
+
+  /// Returns the i-th row (data pointer is null for 0-ary relations).
+  TupleView Row(size_t i) const { return TupleView{RowData(i), arity_}; }
+  /// Raw access used by hot loops.
+  const Value* RowData(size_t i) const {
+    return arity_ == 0 ? nullptr : data_.data() + i * arity_;
+  }
+  const std::vector<Value>& raw() const { return data_; }
+
+  /// Sorts rows lexicographically and removes duplicates (set semantics).
+  void SortDedup();
+
+  /// Sorts rows lexicographically by the given column permutation/subset
+  /// order, e.g. {1,0} sorts by column 1 then column 0.
+  void SortBy(const std::vector<size_t>& cols);
+
+  /// Returns the projection of this relation onto `cols` (with dedup).
+  Relation Project(const std::vector<size_t>& cols,
+                   const std::string& name) const;
+
+  /// Keeps only the rows satisfying `pred`.
+  void Filter(const std::function<bool(TupleView)>& pred);
+
+  /// True if some row equals `t` (linear scan; use HashIndex for bulk).
+  bool Contains(const Tuple& t) const;
+
+  /// Largest value appearing in the relation, or -1 when empty.
+  Value MaxValue() const;
+
+  /// Renders up to `limit` tuples for debugging/examples.
+  std::string ToString(size_t limit = 20) const;
+
+ private:
+  std::string name_;
+  size_t arity_ = 0;
+  size_t zero_arity_count_ = 0;
+  std::vector<Value> data_;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_DB_RELATION_H_

@@ -1,0 +1,79 @@
+#include "fgq/db/trie.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fgq {
+
+Trie::Trie(const Relation& rel, std::vector<size_t> col_order) {
+  assert(!col_order.empty());
+  const size_t depth = col_order.size();
+  levels_.resize(depth);
+
+  // Materialize the reordered, sorted, deduplicated tuple list first.
+  Relation reordered = rel.Project(col_order, rel.name());
+  const size_t n = reordered.NumTuples();
+
+  // Build levels top-down: at each level, split each parent range into runs
+  // of equal values.
+  struct Range {
+    uint32_t begin;
+    uint32_t end;
+  };
+  std::vector<Range> ranges = {{0, static_cast<uint32_t>(n)}};
+  for (size_t level = 0; level < depth; ++level) {
+    std::vector<Range> next_ranges;
+    for (const Range& r : ranges) {
+      uint32_t i = r.begin;
+      while (i < r.end) {
+        Value v = reordered.RowData(i)[level];
+        uint32_t j = i + 1;
+        while (j < r.end && reordered.RowData(j)[level] == v) ++j;
+        levels_[level].push_back(Node{v, i, j});
+        next_ranges.push_back(Range{i, j});
+        i = j;
+      }
+    }
+    ranges = std::move(next_ranges);
+  }
+
+  // Rewrite child pointers from row ranges to node ranges: nodes on level
+  // L+1 were emitted in row order, so for each level-L node we locate the
+  // node span covering its row range. Both sequences are sorted by row
+  // begin, so a single linear pass suffices.
+  for (size_t level = 0; level + 1 < depth; ++level) {
+    const std::vector<Node>& child = levels_[level + 1];
+    size_t c = 0;
+    for (Node& node : levels_[level]) {
+      while (c < child.size() && child[c].begin < node.begin) ++c;
+      uint32_t first = static_cast<uint32_t>(c);
+      size_t c2 = c;
+      while (c2 < child.size() && child[c2].begin < node.end) ++c2;
+      uint32_t last = static_cast<uint32_t>(c2);
+      node.begin = first;
+      node.end = last;
+      c = c2;
+    }
+  }
+}
+
+const Trie::Node* Trie::Find(const std::vector<Node>& nodes, uint32_t begin,
+                             uint32_t end, Value v) {
+  const Node* lo = nodes.data() + begin;
+  const Node* hi = nodes.data() + end;
+  const Node* it = std::lower_bound(
+      lo, hi, v, [](const Node& n, Value x) { return n.value < x; });
+  if (it != hi && it->value == v) return it;
+  return nullptr;
+}
+
+const Trie::Node* Trie::FindChild(size_t level, const Node& node,
+                                  Value v) const {
+  return Find(levels_[level + 1], node.begin, node.end, v);
+}
+
+const Trie::Node* Trie::FindRoot(Value v) const {
+  return Find(levels_[0], 0, static_cast<uint32_t>(levels_[0].size()), v);
+}
+
+}  // namespace fgq

@@ -1,0 +1,74 @@
+#ifndef FGQ_DB_TRIE_H_
+#define FGQ_DB_TRIE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fgq/db/relation.h"
+
+/// \file trie.h
+/// A level-array trie over a relation.
+///
+/// The trie stores the relation's tuples sorted by a chosen column order,
+/// compressed into per-level arrays of (value, child range) nodes. It is
+/// the data structure behind the constant-delay enumeration phase
+/// (Theorem 4.6): after Yannakakis' full reduction, walking the trie of a
+/// free-connex join tree never hits a dead end, so advancing to the next
+/// answer touches at most one node per level — work bounded by the query
+/// size, independent of the database.
+
+namespace fgq {
+
+/// Immutable sorted trie.
+class Trie {
+ public:
+  /// A node: a distinct value at some level plus the range of its children
+  /// on the next level (or of matching rows at the last level).
+  struct Node {
+    Value value;
+    uint32_t begin;  // Child (or row) range start on the next level.
+    uint32_t end;    // Child (or row) range end.
+  };
+
+  /// Builds a trie over `rel` using columns in `col_order`. `rel` does not
+  /// need to be pre-sorted. Depth is col_order.size().
+  Trie(const Relation& rel, std::vector<size_t> col_order);
+
+  size_t depth() const { return levels_.size(); }
+
+  /// All root nodes (level 0 values).
+  const std::vector<Node>& Roots() const { return levels_[0]; }
+
+  /// Nodes at `level` (0-based).
+  const std::vector<Node>& Level(size_t level) const { return levels_[level]; }
+
+  /// Children of a node at `level`, i.e. nodes at level+1 in
+  /// [node.begin, node.end).
+  const Node* ChildBegin(size_t level, const Node& node) const {
+    return levels_[level + 1].data() + node.begin;
+  }
+  const Node* ChildEnd(size_t level, const Node& node) const {
+    return levels_[level + 1].data() + node.end;
+  }
+
+  /// Binary-searches the children of `node` (at `level`) for `v`.
+  /// Returns nullptr if absent. For level == -1 semantics use FindRoot.
+  const Node* FindChild(size_t level, const Node& node, Value v) const;
+
+  /// Binary-searches the roots for `v`.
+  const Node* FindRoot(Value v) const;
+
+  /// Total number of distinct prefixes at the deepest level
+  /// (== number of distinct reordered tuples).
+  size_t NumLeaves() const { return levels_.empty() ? 0 : levels_.back().size(); }
+
+ private:
+  static const Node* Find(const std::vector<Node>& nodes, uint32_t begin,
+                          uint32_t end, Value v);
+
+  std::vector<std::vector<Node>> levels_;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_DB_TRIE_H_

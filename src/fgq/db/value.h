@@ -1,0 +1,66 @@
+#ifndef FGQ_DB_VALUE_H_
+#define FGQ_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file value.h
+/// Value model of the fgq storage layer.
+///
+/// Following the paper's setting (finite relational structures whose domain
+/// comes with a linear order, Section 2.3.1), domain elements are plain
+/// int64 ids and the linear order is the integer order. External string
+/// data is dictionary-encoded at the edge (see Dictionary); every internal
+/// algorithm works on ids only, which keeps tuples POD and comparisons
+/// branch-free.
+
+namespace fgq {
+
+/// A domain element. Non-negative for ordinary data; small negative values
+/// are reserved for algorithm-internal sentinels (e.g. the "bottom" element
+/// of the lower-bound reductions in Section 4.1.2).
+using Value = int64_t;
+
+/// The reserved sentinel element used by reductions that pad tuples
+/// (written bottom in the paper).
+inline constexpr Value kBottom = -1;
+
+/// A tuple of domain elements.
+using Tuple = std::vector<Value>;
+
+/// Bidirectional string <-> id mapping used when loading external data.
+///
+/// Ids are assigned densely from 0 in first-seen order, so a freshly
+/// encoded database has domain [0, size).
+class Dictionary {
+ public:
+  /// Returns the id for `s`, interning it if unseen.
+  Value Intern(const std::string& s) {
+    auto [it, inserted] = ids_.try_emplace(s, static_cast<Value>(strings_.size()));
+    if (inserted) strings_.push_back(s);
+    return it->second;
+  }
+
+  /// Returns the id for `s` or kBottom when not interned.
+  Value Find(const std::string& s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? kBottom : it->second;
+  }
+
+  /// Returns the string for an interned id.
+  const std::string& Lookup(Value id) const {
+    return strings_.at(static_cast<size_t>(id));
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, Value> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_DB_VALUE_H_

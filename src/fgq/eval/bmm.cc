@@ -1,0 +1,131 @@
+#include "fgq/eval/bmm.h"
+
+#include <algorithm>
+
+#include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/query/parser.h"
+
+namespace fgq {
+
+ConjunctiveQuery MatrixProductQuery() {
+  return ParseConjunctiveQuery("Pi(x, y) :- A(x, z), B(z, y).").value();
+}
+
+Database BuildMatrixDatabase(const BoolMatrix& a, const BoolMatrix& b) {
+  Database db;
+  Relation ra("A", 2);
+  Relation rb("B", 2);
+  for (size_t i = 0; i < a.n; ++i) {
+    for (size_t j = 0; j < a.n; ++j) {
+      if (a.Get(i, j)) ra.Add({static_cast<Value>(i), static_cast<Value>(j)});
+      if (b.Get(i, j)) rb.Add({static_cast<Value>(i), static_cast<Value>(j)});
+    }
+  }
+  db.PutRelation(std::move(ra));
+  db.PutRelation(std::move(rb));
+  db.DeclareDomainSize(static_cast<Value>(a.n));
+  return db;
+}
+
+BoolMatrix MultiplyNaive(const BoolMatrix& a, const BoolMatrix& b) {
+  BoolMatrix c(a.n);
+  for (size_t i = 0; i < a.n; ++i) {
+    for (size_t k = 0; k < a.n; ++k) {
+      if (!a.Get(i, k)) continue;
+      for (size_t j = 0; j < a.n; ++j) {
+        if (b.Get(k, j)) c.Set(i, j, true);
+      }
+    }
+  }
+  return c;
+}
+
+Result<BoolMatrix> MultiplyViaQuery(const BoolMatrix& a, const BoolMatrix& b) {
+  if (a.n != b.n) return Status::InvalidArgument("matrix size mismatch");
+  Database db = BuildMatrixDatabase(a, b);
+  FGQ_ASSIGN_OR_RETURN(Relation res, EvaluateYannakakis(MatrixProductQuery(), db));
+  BoolMatrix c(a.n);
+  for (size_t r = 0; r < res.NumTuples(); ++r) {
+    const Value* row = res.RowData(r);
+    c.Set(static_cast<size_t>(row[0]), static_cast<size_t>(row[1]), true);
+  }
+  return c;
+}
+
+Result<Database> EmbedMatricesIntoQuery(const ConjunctiveQuery& q,
+                                        const std::string& x_var,
+                                        const std::string& y_var,
+                                        const std::string& z_var,
+                                        const BoolMatrix& a,
+                                        const BoolMatrix& b) {
+  if (a.n != b.n) return Status::InvalidArgument("matrix size mismatch");
+  if (!q.IsSelfJoinFree()) {
+    return Status::InvalidArgument("embedding requires a self-join-free query");
+  }
+  const Value n = static_cast<Value>(a.n);
+  const Value bottom = n;  // Padding element, the paper's "bot".
+
+  Database db;
+  for (const Atom& atom : q.atoms()) {
+    std::vector<std::string> vars = atom.Variables();
+    bool has_x = std::count(vars.begin(), vars.end(), x_var) > 0;
+    bool has_y = std::count(vars.begin(), vars.end(), y_var) > 0;
+    bool has_z = std::count(vars.begin(), vars.end(), z_var) > 0;
+    if (has_x && has_y) {
+      return Status::InvalidArgument(
+          "variables '" + x_var + "' and '" + y_var +
+          "' share an atom; pick a genuine Pi-shaped obstruction");
+    }
+    Relation rel(atom.relation, atom.arity());
+    auto emit = [&](Value av, Value bv, Value cv) {
+      Tuple t(atom.arity());
+      for (size_t j = 0; j < atom.args.size(); ++j) {
+        const Term& term = atom.args[j];
+        if (!term.is_var()) {
+          t[j] = term.constant;
+        } else if (term.var == x_var) {
+          t[j] = av;
+        } else if (term.var == z_var) {
+          t[j] = bv;
+        } else if (term.var == y_var) {
+          t[j] = cv;
+        } else {
+          t[j] = bottom;
+        }
+      }
+      rel.Add(t);
+    };
+    if (has_x && has_z) {
+      for (Value i = 0; i < n; ++i) {
+        for (Value j = 0; j < n; ++j) {
+          if (a.Get(static_cast<size_t>(i), static_cast<size_t>(j))) {
+            emit(i, j, bottom);
+          }
+        }
+      }
+    } else if (has_z && has_y) {
+      for (Value i = 0; i < n; ++i) {
+        for (Value j = 0; j < n; ++j) {
+          if (b.Get(static_cast<size_t>(i), static_cast<size_t>(j))) {
+            emit(bottom, i, j);
+          }
+        }
+      }
+    } else if (has_x) {
+      for (Value i = 0; i < n; ++i) emit(i, bottom, bottom);
+    } else if (has_y) {
+      for (Value i = 0; i < n; ++i) emit(bottom, bottom, i);
+    } else if (has_z) {
+      for (Value i = 0; i < n; ++i) emit(bottom, i, bottom);
+    } else {
+      emit(bottom, bottom, bottom);
+    }
+    rel.SortDedup();
+    db.PutRelation(std::move(rel));
+  }
+  db.DeclareDomainSize(n + 1);
+  return db;
+}
+
+}  // namespace fgq

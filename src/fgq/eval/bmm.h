@@ -1,0 +1,69 @@
+#ifndef FGQ_EVAL_BMM_H_
+#define FGQ_EVAL_BMM_H_
+
+#include <vector>
+
+#include "fgq/db/database.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/status.h"
+
+/// \file bmm.h
+/// The Boolean matrix multiplication reduction (Section 4.1.2,
+/// Theorems 4.8/4.9).
+///
+/// The matrix-product query Pi(x, y) = exists z. A(x, z) & B(z, y) is the
+/// canonical non-free-connex acyclic query: enumerating Pi(D_BM) in
+/// constant delay after linear preprocessing would multiply two n x n
+/// Boolean matrices in O(n^2) — contradicting the Mat-Mul hypothesis.
+/// Conversely, every self-join-free non-free-connex ACQ embeds Pi
+/// (Example 4.7's padding with the bottom element). This module implements
+/// both directions so the benchmarks can measure them:
+///
+/// * MultiplyViaQuery — multiplies matrices by evaluating Pi through the
+///   ACQ engine (the "reduction forward" direction);
+/// * MultiplyNaive — the cubic textbook baseline;
+/// * EmbedMatricesIntoQuery — given any self-join-free non-free-connex
+///   ACQ, builds the database D with phi(D) = Pi(D_BM) x {bottom}^(m-2).
+
+namespace fgq {
+
+/// A dense square Boolean matrix.
+struct BoolMatrix {
+  explicit BoolMatrix(size_t n) : n(n), bits(n * n, false) {}
+  size_t n;
+  std::vector<bool> bits;
+
+  bool Get(size_t i, size_t j) const { return bits[i * n + j]; }
+  void Set(size_t i, size_t j, bool v) { bits[i * n + j] = v; }
+};
+
+/// The query Pi(x, y) = exists z. A(x, z) & B(z, y).
+ConjunctiveQuery MatrixProductQuery();
+
+/// Encodes A and B as binary relations over domain [0, n).
+Database BuildMatrixDatabase(const BoolMatrix& a, const BoolMatrix& b);
+
+/// C = A * B by cubic triple loop.
+BoolMatrix MultiplyNaive(const BoolMatrix& a, const BoolMatrix& b);
+
+/// C = A * B by evaluating Pi through Yannakakis. Output-linear in the
+/// number of 1s of C — the best the enumeration route can do for a
+/// non-free-connex query (Theorem 4.8).
+Result<BoolMatrix> MultiplyViaQuery(const BoolMatrix& a, const BoolMatrix& b);
+
+/// Example 4.7: given a self-join-free, acyclic, NON-free-connex query
+/// `q`, builds a database D such that phi(D) equals Pi(D_BM) padded with
+/// the bottom element on the remaining head positions (up to head
+/// reordering). `x_var`/`y_var`/`z_var` select which query variables play
+/// x, y, z. Fails when the variables do not form a Pi-shaped obstruction
+/// (x with z but not y, z with y, x and y sharing no atom).
+Result<Database> EmbedMatricesIntoQuery(const ConjunctiveQuery& q,
+                                        const std::string& x_var,
+                                        const std::string& y_var,
+                                        const std::string& z_var,
+                                        const BoolMatrix& a,
+                                        const BoolMatrix& b);
+
+}  // namespace fgq
+
+#endif  // FGQ_EVAL_BMM_H_

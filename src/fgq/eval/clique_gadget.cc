@@ -1,0 +1,104 @@
+#include "fgq/eval/clique_gadget.h"
+#include <functional>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace fgq {
+
+namespace {
+
+Value Encode(int i, int j, int b, int n) {
+  Value nn = n;
+  return (static_cast<Value>(i) + j) * nn * nn * nn +
+         static_cast<Value>(std::abs(i - j)) * nn * nn +
+         static_cast<Value>(b) * nn + i;
+}
+
+std::string XVar(int i, int j) {
+  return "x_" + std::to_string(i) + "_" + std::to_string(j);
+}
+std::string YVar(int i, int j) {
+  return "y_" + std::to_string(i) + "_" + std::to_string(j);
+}
+
+}  // namespace
+
+CliqueGadget BuildCliqueGadget(const Graph& g, int k) {
+  const int n = g.n;
+  CliqueGadget out;
+
+  // P([i,j,0], [i,j,1]) iff (i,j) in E (self-loops included).
+  Relation p("P", 2);
+  for (int i = 0; i < n; ++i) {
+    p.Add({Encode(i, i, 0, n), Encode(i, i, 1, n)});
+    for (int j : g.adj[static_cast<size_t>(i)]) {
+      p.Add({Encode(i, j, 0, n), Encode(i, j, 1, n)});
+    }
+  }
+  p.SortDedup();
+  // R([i,j,1], [i,j',0]) for all i, j, j'.
+  Relation r("R", 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int j2 = 0; j2 < n; ++j2) {
+        r.Add({Encode(i, j, 1, n), Encode(i, j2, 0, n)});
+      }
+    }
+  }
+  r.SortDedup();
+  out.db.PutRelation(std::move(p));
+  out.db.PutRelation(std::move(r));
+
+  // phi: k row chains + the ordering constraints.
+  ConjunctiveQuery q("clique", {}, {});
+  for (int i = 1; i <= k; ++i) {
+    for (int j = 1; j <= k; ++j) {
+      Atom pa;
+      pa.relation = "P";
+      pa.args = {Term::Var(XVar(i, j)), Term::Var(YVar(i, j))};
+      q.AddAtom(std::move(pa));
+      if (j < k) {
+        Atom ra;
+        ra.relation = "R";
+        ra.args = {Term::Var(YVar(i, j)), Term::Var(XVar(i, j + 1))};
+        q.AddAtom(std::move(ra));
+      }
+    }
+  }
+  for (int i = 1; i <= k; ++i) {
+    for (int j = i + 1; j <= k; ++j) {
+      q.AddComparison({XVar(i, j), XVar(j, i), Comparison::Op::kLess});
+      q.AddComparison({XVar(j, i), YVar(i, j), Comparison::Op::kLess});
+    }
+  }
+  out.query = std::move(q);
+  return out;
+}
+
+bool HasClique(const Graph& g, int k) {
+  std::vector<int> chosen;
+  // Simple backtracking over vertices in increasing order.
+  std::function<bool(int)> rec = [&](int start) {
+    if (static_cast<int>(chosen.size()) == k) return true;
+    for (int v = start; v < g.n; ++v) {
+      bool ok = true;
+      for (int u : chosen) {
+        if (!g.HasEdge(u, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        chosen.push_back(v);
+        if (rec(v + 1)) return true;
+        chosen.pop_back();
+      }
+    }
+    return false;
+  };
+  return rec(0);
+}
+
+}  // namespace fgq

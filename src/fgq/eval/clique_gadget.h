@@ -1,0 +1,42 @@
+#ifndef FGQ_EVAL_CLIQUE_GADGET_H_
+#define FGQ_EVAL_CLIQUE_GADGET_H_
+
+#include "fgq/db/database.h"
+#include "fgq/mso/tree_decomposition.h"
+#include "fgq/query/cq.h"
+
+/// \file clique_gadget.h
+/// The k-clique gadget for acyclic queries with order comparisons
+/// (Section 4.3, Theorem 4.15, [69]).
+///
+/// Inequalities let an *acyclic* query express k-clique — which is why
+/// ACQ_< is W[1]-hard while plain ACQ and ACQ_!= are tractable. The
+/// encoding maps index pairs (i, j) with a flag b to domain elements
+///
+///     [i, j, b] = (i + j) n^3 + |i - j| n^2 + b n + i
+///
+/// so that x_ij < x_ji < y_ij forces the two elements to agree on their
+/// underlying vertex pair, and builds k row-chains
+/// P(x_i1, y_i1), R(y_i1, x_i2), P(x_i2, y_i2), ... — an acyclic body.
+/// The graph G (with self-loops added) has a k-clique iff D |= phi.
+
+namespace fgq {
+
+/// The gadget instance: the database D and Boolean query phi of
+/// Theorem 4.15 built from graph `g` and parameter `k`.
+struct CliqueGadget {
+  Database db;
+  ConjunctiveQuery query;
+};
+
+/// Builds the gadget. The query has 2k^2 variables; evaluate with the
+/// backtracking oracle (the point of the theorem is that no FPT algorithm
+/// should exist).
+CliqueGadget BuildCliqueGadget(const Graph& g, int k);
+
+/// Reference check: does g contain a k-clique? (Exponential in k.)
+bool HasClique(const Graph& g, int k);
+
+}  // namespace fgq
+
+#endif  // FGQ_EVAL_CLIQUE_GADGET_H_

@@ -1,0 +1,458 @@
+#include "fgq/eval/enumerate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fgq/db/index.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/hypergraph.h"
+
+namespace fgq {
+
+namespace {
+
+// ---- Materialized baseline --------------------------------------------------
+
+class MaterializedEnumerator : public AnswerEnumerator {
+ public:
+  explicit MaterializedEnumerator(Relation answers)
+      : answers_(std::move(answers)) {}
+
+  bool Next(Tuple* out) override {
+    if (answers_.arity() == 0) {
+      if (pos_ > 0 || answers_.NumTuples() == 0) return false;
+      ++pos_;
+      out->clear();
+      return true;
+    }
+    if (pos_ >= answers_.NumTuples()) return false;
+    *out = answers_.Row(pos_).ToTuple();
+    ++pos_;
+    return true;
+  }
+
+ private:
+  Relation answers_;
+  size_t pos_ = 0;
+};
+
+// ---- Constant-delay enumerator (Theorem 4.6) --------------------------------
+
+/// Enumeration over a fully reduced, quantifier-free acyclic join: one
+/// hash-indexed node per join-tree vertex, walked as an odometer. After
+/// full reduction every index probe is nonempty, so producing the next
+/// answer touches at most O(#nodes) state — independent of the data.
+class ConstantDelayEnumerator : public AnswerEnumerator {
+ public:
+  ConstantDelayEnumerator(std::vector<PreparedAtom> nodes,
+                          std::vector<int> parent,
+                          std::vector<std::string> head)
+      : nodes_(std::move(nodes)), parent_(std::move(parent)) {
+    // Per-node index keyed by the connector with the parent.
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      std::vector<size_t> connector_cols;
+      std::vector<size_t> parent_cols;
+      if (parent_[i] >= 0) {
+        const PreparedAtom& p = nodes_[parent_[i]];
+        for (size_t c = 0; c < nodes_[i].vars.size(); ++c) {
+          int pc = p.VarIndex(nodes_[i].vars[c]);
+          if (pc >= 0) {
+            connector_cols.push_back(c);
+            parent_cols.push_back(static_cast<size_t>(pc));
+          }
+        }
+      }
+      parent_cols_.push_back(std::move(parent_cols));
+      indexes_.emplace_back(nodes_[i].rel, connector_cols);
+      candidates_.push_back(nullptr);
+      pos_.push_back(0);
+    }
+    // Output slots: first node/column providing each head variable.
+    for (const std::string& v : head) {
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        int c = nodes_[i].VarIndex(v);
+        if (c >= 0) {
+          out_slots_.push_back({i, static_cast<size_t>(c)});
+          break;
+        }
+      }
+    }
+    exhausted_ = nodes_.empty() || nodes_[0].rel.empty();
+    if (!exhausted_) {
+      // Position the odometer on the first answer.
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        Refill(i);
+        pos_[i] = 0;
+      }
+      primed_ = true;
+    }
+  }
+
+  bool Next(Tuple* out) override {
+    if (exhausted_) return false;
+    if (!primed_) {
+      // Advance: increment from the deepest level.
+      size_t level = nodes_.size();
+      while (level-- > 0) {
+        if (pos_[level] + 1 < candidates_[level]->size()) {
+          ++pos_[level];
+          for (size_t j = level + 1; j < nodes_.size(); ++j) {
+            Refill(j);
+            pos_[j] = 0;
+          }
+          Emit(out);
+          return true;
+        }
+        if (level == 0) {
+          exhausted_ = true;
+          return false;
+        }
+      }
+      exhausted_ = true;
+      return false;
+    }
+    primed_ = false;
+    Emit(out);
+    return true;
+  }
+
+ private:
+  const Value* CurrentRow(size_t node) const {
+    return nodes_[node].rel.RowData((*candidates_[node])[pos_[node]]);
+  }
+
+  /// Recomputes node i's candidate list from its parent's current row.
+  /// Nonempty by full reduction.
+  void Refill(size_t i) {
+    if (parent_[i] < 0) {
+      candidates_[i] = &AllRows(i);
+      return;
+    }
+    const Value* prow = CurrentRow(static_cast<size_t>(parent_[i]));
+    candidates_[i] = &indexes_[i].LookupRow(prow, parent_cols_[i]);
+  }
+
+  const std::vector<uint32_t>& AllRows(size_t i) {
+    if (all_rows_.size() <= i) all_rows_.resize(nodes_.size());
+    if (all_rows_[i].empty() && !nodes_[i].rel.empty()) {
+      all_rows_[i].resize(nodes_[i].rel.NumTuples());
+      for (size_t r = 0; r < all_rows_[i].size(); ++r) {
+        all_rows_[i][r] = static_cast<uint32_t>(r);
+      }
+    }
+    return all_rows_[i];
+  }
+
+  void Emit(Tuple* out) {
+    out->resize(out_slots_.size());
+    for (size_t i = 0; i < out_slots_.size(); ++i) {
+      (*out)[i] = CurrentRow(out_slots_[i].first)[out_slots_[i].second];
+    }
+  }
+
+  std::vector<PreparedAtom> nodes_;  // In top-down join-tree order.
+  std::vector<int> parent_;          // Index into nodes_, -1 for root.
+  std::vector<std::vector<size_t>> parent_cols_;
+  std::vector<HashIndex> indexes_;
+  std::vector<const std::vector<uint32_t>*> candidates_;
+  std::vector<size_t> pos_;
+  std::vector<std::vector<uint32_t>> all_rows_;
+  std::vector<std::pair<size_t, size_t>> out_slots_;
+  bool exhausted_ = false;
+  bool primed_ = false;
+};
+
+/// Emits a single empty tuple (satisfied Boolean query).
+class BooleanTrueEnumerator : public AnswerEnumerator {
+ public:
+  bool Next(Tuple* out) override {
+    if (done_) return false;
+    done_ = true;
+    out->clear();
+    return true;
+  }
+
+ private:
+  bool done_ = false;
+};
+
+class EmptyEnumerator : public AnswerEnumerator {
+ public:
+  bool Next(Tuple*) override { return false; }
+};
+
+// ---- Linear-delay enumerator (Theorem 4.3, Algorithm 2) ---------------------
+
+/// Substitutes head variable `var` by the constant `v` everywhere in `q`
+/// and removes it from the head.
+ConjunctiveQuery SubstituteHeadVar(const ConjunctiveQuery& q,
+                                   const std::string& var, Value v) {
+  ConjunctiveQuery out = q;
+  std::vector<std::string> head;
+  for (const std::string& h : out.head()) {
+    if (h != var) head.push_back(h);
+  }
+  out.set_head(head);
+  for (Atom& a : *out.mutable_atoms()) {
+    for (Term& t : a.args) {
+      if (t.is_var() && t.var == var) t = Term::Const(v);
+    }
+  }
+  return out;
+}
+
+class LinearDelayEnumerator : public AnswerEnumerator {
+ public:
+  LinearDelayEnumerator(const ConjunctiveQuery& q, const Database& db)
+      : db_(db) {
+    levels_.push_back(Level{q, {}, 0});
+    Status st = FillCandidates(&levels_.back());
+    ok_ = st.ok();
+  }
+
+  bool ok() const { return ok_; }
+
+  bool Next(Tuple* out) override {
+    if (!ok_) return false;
+    // Depth-first walk: extend the prefix until all head variables are
+    // fixed, emit, then backtrack.
+    while (!levels_.empty()) {
+      Level& top = levels_.back();
+      if (top.query.arity() == 0) {
+        // Complete answer: emit the accumulated prefix, then pop.
+        *out = prefix_;
+        Pop();
+        return true;
+      }
+      if (top.next_candidate >= top.candidates.size()) {
+        Pop();
+        continue;
+      }
+      Value v = top.candidates[top.next_candidate++];
+      ConjunctiveQuery sub =
+          SubstituteHeadVar(top.query, top.query.head()[0], v);
+      prefix_.push_back(v);
+      levels_.push_back(Level{std::move(sub), {}, 0});
+      Status st = FillCandidates(&levels_.back());
+      if (!st.ok()) {
+        ok_ = false;
+        return false;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Level {
+    ConjunctiveQuery query;       // Remaining query (prefix substituted).
+    std::vector<Value> candidates;
+    size_t next_candidate;
+  };
+
+  void Pop() {
+    levels_.pop_back();
+    if (!prefix_.empty() && levels_.size() <= prefix_.size()) {
+      prefix_.pop_back();
+    }
+  }
+
+  /// The candidate values of the level's first head variable: after full
+  /// reduction, the distinct values of that variable in any reduced atom
+  /// containing it (global consistency makes each one extendable).
+  Status FillCandidates(Level* level) {
+    if (level->query.arity() == 0) return Status::OK();
+    FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(level->query, db_));
+    if (rq.empty) return Status::OK();
+    const std::string& var = level->query.head()[0];
+    for (const PreparedAtom& a : rq.atoms) {
+      int c = a.VarIndex(var);
+      if (c < 0) continue;
+      std::set<Value> vals;
+      for (size_t r = 0; r < a.rel.NumTuples(); ++r) {
+        vals.insert(a.rel.RowData(r)[static_cast<size_t>(c)]);
+      }
+      level->candidates.assign(vals.begin(), vals.end());
+      return Status::OK();
+    }
+    return Status::Internal("head variable '" + var + "' not found");
+  }
+
+  const Database& db_;
+  std::vector<Level> levels_;
+  Tuple prefix_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::unique_ptr<AnswerEnumerator> MakeMaterializedEnumerator(
+    Relation answers) {
+  return std::make_unique<MaterializedEnumerator>(std::move(answers));
+}
+
+Result<std::unique_ptr<AnswerEnumerator>> MakeLinearDelayEnumerator(
+    const ConjunctiveQuery& q, const Database& db) {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  if (q.HasNegation() || !q.comparisons().empty()) {
+    return Status::Unsupported("linear-delay enumeration handles plain ACQ");
+  }
+  if (!IsAcyclicQuery(q)) {
+    return Status::InvalidArgument("query is not acyclic: " + q.ToString());
+  }
+  if (q.IsBoolean()) {
+    FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db));
+    if (rq.empty) {
+      return std::unique_ptr<AnswerEnumerator>(new EmptyEnumerator());
+    }
+    return std::unique_ptr<AnswerEnumerator>(new BooleanTrueEnumerator());
+  }
+  auto e = std::make_unique<LinearDelayEnumerator>(q, db);
+  if (!e->ok()) return Status::Internal("linear-delay preprocessing failed");
+  return std::unique_ptr<AnswerEnumerator>(std::move(e));
+}
+
+Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
+                                           const Database& db) {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  if (q.HasNegation() || !q.comparisons().empty()) {
+    return Status::Unsupported(
+        "constant-delay enumeration handles plain ACQ; see diseq.h for "
+        "ACQ with disequalities");
+  }
+  if (!IsAcyclicQuery(q)) {
+    return Status::InvalidArgument("query is not acyclic: " + q.ToString());
+  }
+  if (!IsFreeConnex(q)) {
+    return Status::InvalidArgument(
+        "query is not free-connex (Theorem 4.8: constant delay is then "
+        "impossible unless Boolean matrix multiplication is easy): " +
+        q.ToString());
+  }
+
+  // Preprocessing (linear): full reduction, then projection of every
+  // reduced atom onto its free variables. Free-connexity makes the
+  // projected join equal to phi(D) and its hypergraph acyclic.
+  FreeConnexPlan plan;
+  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db));
+  if (rq.empty) {
+    plan.empty = true;
+    return plan;
+  }
+  if (q.IsBoolean()) {
+    return plan;  // Non-empty: satisfiable, no nodes needed.
+  }
+
+  std::set<std::string> free(q.head().begin(), q.head().end());
+  std::vector<PreparedAtom> projected;
+  for (const PreparedAtom& a : rq.atoms) {
+    std::vector<std::string> keep;
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < a.vars.size(); ++c) {
+      if (free.count(a.vars[c])) {
+        keep.push_back(a.vars[c]);
+        cols.push_back(c);
+      }
+    }
+    if (keep.empty()) continue;  // Purely existential atom: reduced away.
+    PreparedAtom p;
+    p.vars = std::move(keep);
+    p.rel = a.rel.Project(cols, a.rel.name());
+    projected.push_back(std::move(p));
+  }
+  // Absorb projected atoms whose variable set is covered by another atom
+  // (they are implied after a semijoin).
+  std::vector<PreparedAtom> nodes_raw;
+  for (size_t i = 0; i < projected.size(); ++i) {
+    bool covered = false;
+    for (size_t j = 0; j < projected.size() && !covered; ++j) {
+      if (i == j) continue;
+      bool subset = true;
+      for (const std::string& v : projected[i].vars) {
+        if (projected[j].VarIndex(v) < 0) {
+          subset = false;
+          break;
+        }
+      }
+      // Strict subset, or equal sets keeping the smaller index.
+      if (subset &&
+          (projected[i].vars.size() < projected[j].vars.size() || i > j)) {
+        SemijoinReduce(&projected[j], projected[i]);
+        covered = true;
+      }
+    }
+    if (!covered) nodes_raw.push_back(projected[i]);
+  }
+
+  // Join tree of the projected (free-only) hypergraph.
+  Hypergraph hfree;
+  for (const PreparedAtom& p : nodes_raw) {
+    hfree.AddEdgeByNames(p.vars, -1);
+  }
+  GyoResult gyo = GyoReduce(hfree);
+  if (!gyo.acyclic) {
+    return Status::Internal(
+        "free-connex query produced a cyclic free-projection: " +
+        q.ToString());
+  }
+
+  // Full reduction among the projected relations (they are individually
+  // consistent with full answers but must also be pairwise consistent).
+  for (int e : gyo.tree.BottomUpOrder()) {
+    int p = gyo.tree.parent[e];
+    if (p >= 0) SemijoinReduce(&nodes_raw[p], nodes_raw[e]);
+  }
+  for (int e : gyo.tree.TopDownOrder()) {
+    for (int c : gyo.tree.children[e]) {
+      SemijoinReduce(&nodes_raw[c], nodes_raw[e]);
+    }
+  }
+  for (const PreparedAtom& p : nodes_raw) {
+    if (p.rel.empty()) {
+      plan.empty = true;
+      return plan;
+    }
+  }
+
+  // Reorder nodes top-down and rebase parent pointers.
+  std::vector<int> order = gyo.tree.TopDownOrder();
+  std::vector<int> position(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = static_cast<int>(i);
+  }
+  for (int e : order) {
+    plan.nodes.push_back(std::move(nodes_raw[e]));
+    int p = gyo.tree.parent[e];
+    plan.parent.push_back(p < 0 ? -1 : position[p]);
+  }
+  return plan;
+}
+
+Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
+    const ConjunctiveQuery& q, const Database& db) {
+  FGQ_ASSIGN_OR_RETURN(FreeConnexPlan plan, BuildFreeConnexPlan(q, db));
+  if (plan.empty) {
+    return std::unique_ptr<AnswerEnumerator>(new EmptyEnumerator());
+  }
+  if (q.IsBoolean()) {
+    return std::unique_ptr<AnswerEnumerator>(new BooleanTrueEnumerator());
+  }
+  return std::unique_ptr<AnswerEnumerator>(new ConstantDelayEnumerator(
+      std::move(plan.nodes), std::move(plan.parent), q.head()));
+}
+
+Relation DrainEnumerator(AnswerEnumerator* e, const std::string& name,
+                         size_t arity) {
+  Relation out(name, arity);
+  Tuple t;
+  while (e->Next(&t)) {
+    if (arity == 0) {
+      out.AddNullary();
+    } else {
+      out.Add(t);
+    }
+  }
+  out.SortDedup();
+  return out;
+}
+
+}  // namespace fgq

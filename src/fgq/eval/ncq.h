@@ -1,0 +1,57 @@
+#ifndef FGQ_EVAL_NCQ_H_
+#define FGQ_EVAL_NCQ_H_
+
+#include "fgq/db/database.h"
+#include "fgq/mso/tree_decomposition.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/status.h"
+
+/// \file ncq.h
+/// Negative conjunctive queries (Section 4.5, Theorem 4.31 [17]).
+///
+/// An NCQ is a Boolean query exists x. /\_i NOT R_i(z_i): the relations
+/// list *forbidden* tuples (the negative encoding of CSP/SAT with
+/// unbounded constraint arity). Deciding an NCQ is quasi-linear exactly
+/// when its hypergraph is beta-acyclic; the algorithm eliminates
+/// variables along a nest-point order (the same order that witnesses
+/// beta-acyclicity), performing a Davis-Putnam-style resolution at each
+/// step:
+///
+/// Eliminating a nest point z whose atoms form the chain A_1 <= ... <= A_m
+/// (by variable-set inclusion): an assignment tau of A_j \ {z} is newly
+/// forbidden iff the union of forbidden z-values contributed by levels
+/// 1..j at tau's projections covers the whole domain. Each new forbidden
+/// tuple is charged to an existing tuple at its level, so the instance
+/// grows by at most a constant factor per elimination and the whole run is
+/// quasi-linear in ||D||.
+
+namespace fgq {
+
+/// Decides a Boolean beta-acyclic NCQ. The query must consist solely of
+/// negated atoms and have an empty head; the domain is
+/// [0, db.DomainSize()). Fails with InvalidArgument when the hypergraph is
+/// not beta-acyclic (Theorem 4.31's hardness side says no fast algorithm
+/// should exist there).
+Result<bool> DecideBetaAcyclicNcq(const ConjunctiveQuery& q,
+                                  const Database& db);
+
+/// Brute-force NCQ decision by backtracking (test oracle).
+Result<bool> DecideNcqBruteForce(const ConjunctiveQuery& q,
+                                 const Database& db);
+
+/// The hardness side of Theorem 4.31 (the Triangle hypothesis): a
+/// *cyclic* NCQ whose decision is exactly triangle detection. The
+/// negative atoms hold the complement graph (plus the diagonal), so
+///   exists x y z. not R1(x,y) & not R2(y,z) & not R3(z,x)
+/// holds iff g contains a triangle. DecideBetaAcyclicNcq rejects the
+/// query (its hypergraph is a triangle, not beta-acyclic) — which is the
+/// dichotomy's point: only generic, super-quasi-linear procedures apply.
+struct TriangleNcq {
+  Database db;
+  ConjunctiveQuery query;
+};
+TriangleNcq BuildTriangleNcq(const Graph& g);
+
+}  // namespace fgq
+
+#endif  // FGQ_EVAL_NCQ_H_

@@ -1,0 +1,37 @@
+#ifndef FGQ_EVAL_ORACLE_H_
+#define FGQ_EVAL_ORACLE_H_
+
+#include "fgq/db/database.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/status.h"
+
+/// \file oracle.h
+/// Reference evaluators.
+///
+/// EvaluateBacktrack is the library's semantic oracle: it supports every
+/// CQ feature (constants, self-joins, negated atoms, comparisons) by
+/// constraint-propagating backtracking. It makes no complexity promise and
+/// exists so that every fast algorithm can be property-tested against it.
+///
+/// EvaluateJoinMaterialize is the textbook baseline the paper's fine-
+/// grained results improve on: left-deep hash joins materializing every
+/// intermediate, comparisons applied as post-filters. It is the "compute
+/// phi(D) then iterate/count" strawman in the enumeration and counting
+/// benchmarks.
+
+namespace fgq {
+
+/// Exact evaluation by backtracking search with atom-driven candidate
+/// propagation. Handles negation and comparisons. Variables that occur
+/// only in negated atoms or comparisons range over [0, db.DomainSize()).
+Result<Relation> EvaluateBacktrack(const ConjunctiveQuery& q,
+                                   const Database& db);
+
+/// Left-deep hash-join materialization (positive atoms only; comparisons
+/// as post-filter; negated atoms unsupported).
+Result<Relation> EvaluateJoinMaterialize(const ConjunctiveQuery& q,
+                                         const Database& db);
+
+}  // namespace fgq
+
+#endif  // FGQ_EVAL_ORACLE_H_

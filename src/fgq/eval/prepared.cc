@@ -1,0 +1,170 @@
+#include "fgq/eval/prepared.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fgq/db/index.h"
+#include "fgq/util/hash.h"
+
+namespace fgq {
+
+int PreparedAtom::VarIndex(const std::string& v) const {
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i] == v) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<size_t> PreparedAtom::SharedColumns(
+    const PreparedAtom& other) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (other.VarIndex(vars[i]) >= 0) out.push_back(i);
+  }
+  return out;
+}
+
+Result<PreparedAtom> PrepareAtom(const Atom& atom, const Database& db) {
+  FGQ_ASSIGN_OR_RETURN(const Relation* rel, db.Find(atom.relation));
+  if (rel->arity() != atom.arity()) {
+    return Status::InvalidArgument(
+        "atom " + atom.ToString() + " has arity " +
+        std::to_string(atom.arity()) + " but relation '" + atom.relation +
+        "' has arity " + std::to_string(rel->arity()));
+  }
+  PreparedAtom out;
+  out.vars = atom.Variables();
+  // Column of the first occurrence of each distinct variable.
+  std::vector<size_t> first_col(out.vars.size());
+  for (size_t v = 0; v < out.vars.size(); ++v) {
+    for (size_t j = 0; j < atom.args.size(); ++j) {
+      if (atom.args[j].is_var() && atom.args[j].var == out.vars[v]) {
+        first_col[v] = j;
+        break;
+      }
+    }
+  }
+  out.rel = Relation(atom.relation, out.vars.size());
+  const size_t n = rel->NumTuples();
+  Tuple t(out.vars.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Value* row = rel->RowData(i);
+    bool keep = true;
+    for (size_t j = 0; j < atom.args.size() && keep; ++j) {
+      const Term& a = atom.args[j];
+      if (!a.is_var()) {
+        keep = row[j] == a.constant;
+      }
+    }
+    if (!keep) continue;
+    // Repeated-variable equality: every occurrence must match the first.
+    for (size_t j = 0; j < atom.args.size() && keep; ++j) {
+      const Term& a = atom.args[j];
+      if (a.is_var()) {
+        for (size_t v = 0; v < out.vars.size(); ++v) {
+          if (out.vars[v] == a.var) {
+            keep = row[j] == row[first_col[v]];
+            break;
+          }
+        }
+      }
+    }
+    if (!keep) continue;
+    for (size_t v = 0; v < out.vars.size(); ++v) t[v] = row[first_col[v]];
+    out.rel.Add(t);
+  }
+  out.rel.SortDedup();
+  return out;
+}
+
+Result<std::vector<PreparedAtom>> PrepareAtoms(const ConjunctiveQuery& q,
+                                               const Database& db) {
+  std::vector<PreparedAtom> out;
+  for (const Atom& a : q.atoms()) {
+    if (a.negated) continue;
+    FGQ_ASSIGN_OR_RETURN(PreparedAtom pa, PrepareAtom(a, db));
+    out.push_back(std::move(pa));
+  }
+  return out;
+}
+
+void SemijoinReduce(PreparedAtom* target, const PreparedAtom& source) {
+  std::vector<size_t> target_cols = target->SharedColumns(source);
+  if (target_cols.empty()) {
+    // No shared variables: reduction only applies when source is empty
+    // (the cross-product factor vanishes).
+    if (source.rel.empty()) {
+      target->rel = Relation(target->rel.name(), target->rel.arity());
+    }
+    return;
+  }
+  std::vector<size_t> source_cols;
+  for (size_t c : target_cols) {
+    source_cols.push_back(
+        static_cast<size_t>(source.VarIndex(target->vars[c])));
+  }
+  // Hash the source keys.
+  std::unordered_set<Tuple, VecHash> keys;
+  keys.reserve(source.rel.NumTuples());
+  Tuple key(source_cols.size());
+  for (size_t i = 0; i < source.rel.NumTuples(); ++i) {
+    const Value* row = source.rel.RowData(i);
+    for (size_t j = 0; j < source_cols.size(); ++j) key[j] = row[source_cols[j]];
+    keys.insert(key);
+  }
+  Tuple probe(target_cols.size());
+  target->rel.Filter([&](TupleView row) {
+    for (size_t j = 0; j < target_cols.size(); ++j) {
+      probe[j] = row[target_cols[j]];
+    }
+    return keys.count(probe) > 0;
+  });
+}
+
+PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
+                         const std::vector<std::string>& keep_vars) {
+  PreparedAtom out;
+  out.vars = keep_vars;
+  out.rel = Relation("join", keep_vars.size());
+
+  std::vector<size_t> left_cols = left.SharedColumns(right);
+  std::vector<size_t> right_cols;
+  for (size_t c : left_cols) {
+    right_cols.push_back(static_cast<size_t>(right.VarIndex(left.vars[c])));
+  }
+  HashIndex right_index(right.rel, right_cols);
+
+  // Where does each kept variable come from?
+  struct Source {
+    bool from_left;
+    size_t col;
+  };
+  std::vector<Source> sources;
+  sources.reserve(keep_vars.size());
+  for (const std::string& v : keep_vars) {
+    int lc = left.VarIndex(v);
+    if (lc >= 0) {
+      sources.push_back({true, static_cast<size_t>(lc)});
+    } else {
+      sources.push_back({false, static_cast<size_t>(right.VarIndex(v))});
+    }
+  }
+
+  Tuple key(left_cols.size());
+  Tuple t(keep_vars.size());
+  for (size_t i = 0; i < left.rel.NumTuples(); ++i) {
+    const Value* lrow = left.rel.RowData(i);
+    for (size_t j = 0; j < left_cols.size(); ++j) key[j] = lrow[left_cols[j]];
+    for (uint32_t ri : right_index.Lookup(key)) {
+      const Value* rrow = right.rel.RowData(ri);
+      for (size_t j = 0; j < sources.size(); ++j) {
+        t[j] = sources[j].from_left ? lrow[sources[j].col] : rrow[sources[j].col];
+      }
+      out.rel.Add(t);
+    }
+  }
+  out.rel.SortDedup();
+  return out;
+}
+
+}  // namespace fgq

@@ -1,0 +1,58 @@
+#ifndef FGQ_EVAL_PREPARED_H_
+#define FGQ_EVAL_PREPARED_H_
+
+#include <string>
+#include <vector>
+
+#include "fgq/db/database.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/status.h"
+
+/// \file prepared.h
+/// Atom preparation shared by every CQ evaluation algorithm.
+///
+/// Each positive atom R(t1..tk) is materialized as a relation over the
+/// atom's *distinct variables*: rows violating constant arguments or
+/// repeated-variable equalities are dropped, and columns are projected to
+/// one per distinct variable (in first-occurrence order). All downstream
+/// algorithms (Yannakakis, counting DP, enumerators) then reason purely in
+/// terms of variable lists.
+
+namespace fgq {
+
+/// A positive atom resolved against the database.
+struct PreparedAtom {
+  /// Distinct variables of the atom, in first-occurrence order; these are
+  /// the columns of `rel`.
+  std::vector<std::string> vars;
+  /// Filtered, projected, deduplicated tuples.
+  Relation rel;
+
+  /// Index of `v` in `vars`, or -1.
+  int VarIndex(const std::string& v) const;
+
+  /// Column positions (into `vars`) of the variables shared with `other`.
+  std::vector<size_t> SharedColumns(const PreparedAtom& other) const;
+};
+
+/// Prepares every positive atom of `q` against `db`. Fails if a referenced
+/// relation is missing or an atom's arity mismatches its relation.
+Result<std::vector<PreparedAtom>> PrepareAtoms(const ConjunctiveQuery& q,
+                                               const Database& db);
+
+/// Prepares a single atom.
+Result<PreparedAtom> PrepareAtom(const Atom& atom, const Database& db);
+
+/// Semijoin reduction: keeps the tuples of `target` that agree with some
+/// tuple of `source` on the shared variables. O(|source| + |target|).
+void SemijoinReduce(PreparedAtom* target, const PreparedAtom& source);
+
+/// In-place join of `left` with `right`, projecting the result onto
+/// `keep_vars` (which must be a subset of the union of both variable
+/// lists). Returns the joined PreparedAtom.
+PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
+                         const std::vector<std::string>& keep_vars);
+
+}  // namespace fgq
+
+#endif  // FGQ_EVAL_PREPARED_H_

@@ -1,0 +1,225 @@
+#include "fgq/eval/random_access.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fgq/eval/enumerate.h"
+#include "fgq/eval/prepared.h"
+#include "fgq/util/hash.h"
+
+namespace fgq {
+
+namespace {
+
+constexpr int64_t kCountCap = int64_t{1} << 62;
+
+/// A group of node rows sharing the same connector key, with prefix sums
+/// of their subtree-completion counts (for rank descent by binary search).
+struct Bucket {
+  std::vector<uint32_t> rows;
+  std::vector<int64_t> prefix;  // prefix[i] = sum of counts of rows[0..i].
+
+  int64_t Total() const { return prefix.empty() ? 0 : prefix.back(); }
+};
+
+class RandomAccessImpl : public RandomAccessAnswers {
+ public:
+  /// Builds counts bottom-up over the plan's join tree.
+  static Result<std::unique_ptr<RandomAccessAnswers>> Build(
+      FreeConnexPlan plan, const std::vector<std::string>& head) {
+    auto impl = std::unique_ptr<RandomAccessImpl>(new RandomAccessImpl());
+    impl->nodes_ = std::move(plan.nodes);
+    impl->parent_ = std::move(plan.parent);
+    const size_t L = impl->nodes_.size();
+    impl->children_.assign(L, {});
+    for (size_t i = 0; i < L; ++i) {
+      if (impl->parent_[i] >= 0) {
+        impl->children_[static_cast<size_t>(impl->parent_[i])].push_back(
+            static_cast<int>(i));
+      }
+    }
+    // Connector columns: node-side and parent-side.
+    impl->conn_cols_.resize(L);
+    impl->parent_cols_.resize(L);
+    for (size_t i = 0; i < L; ++i) {
+      if (impl->parent_[i] < 0) continue;
+      const PreparedAtom& p = impl->nodes_[static_cast<size_t>(impl->parent_[i])];
+      for (size_t c = 0; c < impl->nodes_[i].vars.size(); ++c) {
+        int pc = p.VarIndex(impl->nodes_[i].vars[c]);
+        if (pc >= 0) {
+          impl->conn_cols_[i].push_back(c);
+          impl->parent_cols_[i].push_back(static_cast<size_t>(pc));
+        }
+      }
+    }
+    // Bottom-up count pass. count[i][row] = product over children of the
+    // child's bucket total at the row's key.
+    impl->buckets_.resize(L);
+    std::vector<std::vector<int64_t>> counts(L);
+    for (size_t ii = L; ii-- > 0;) {
+      const PreparedAtom& node = impl->nodes_[ii];
+      const size_t rows = node.rel.NumTuples();
+      counts[ii].assign(rows, 1);
+      for (size_t r = 0; r < rows; ++r) {
+        const Value* row = node.rel.RowData(r);
+        int64_t c = 1;
+        for (int child : impl->children_[ii]) {
+          Tuple key(impl->parent_cols_[static_cast<size_t>(child)].size());
+          for (size_t j = 0; j < key.size(); ++j) {
+            key[j] = row[impl->parent_cols_[static_cast<size_t>(child)][j]];
+          }
+          auto it = impl->buckets_[static_cast<size_t>(child)].find(key);
+          int64_t child_total =
+              it == impl->buckets_[static_cast<size_t>(child)].end()
+                  ? 0
+                  : it->second.Total();
+          if (child_total == 0) {
+            c = 0;
+            break;
+          }
+          if (c > kCountCap / child_total) {
+            return Status::OutOfRange("answer count exceeds 2^62");
+          }
+          c *= child_total;
+        }
+        counts[ii][r] = c;
+      }
+      // Group rows into buckets by this node's own connector key.
+      for (size_t r = 0; r < rows; ++r) {
+        if (counts[ii][r] == 0) continue;  // Dead row (kept defensively).
+        Tuple key(impl->conn_cols_[ii].size());
+        const Value* row = node.rel.RowData(r);
+        for (size_t j = 0; j < key.size(); ++j) {
+          key[j] = row[impl->conn_cols_[ii][j]];
+        }
+        Bucket& b = impl->buckets_[ii][key];
+        int64_t base = b.Total();
+        if (base > kCountCap - counts[ii][r]) {
+          return Status::OutOfRange("answer count exceeds 2^62");
+        }
+        b.rows.push_back(static_cast<uint32_t>(r));
+        b.prefix.push_back(base + counts[ii][r]);
+      }
+    }
+    // Output slots.
+    for (const std::string& v : head) {
+      for (size_t i = 0; i < L; ++i) {
+        int c = impl->nodes_[i].VarIndex(v);
+        if (c >= 0) {
+          impl->out_slots_.push_back({i, static_cast<size_t>(c)});
+          break;
+        }
+      }
+    }
+    // Root bucket (empty key).
+    auto it = impl->buckets_[0].find(Tuple{});
+    impl->total_ = it == impl->buckets_[0].end() ? 0 : it->second.Total();
+    return std::unique_ptr<RandomAccessAnswers>(std::move(impl));
+  }
+
+  int64_t Count() const override { return total_; }
+
+  Result<Tuple> Answer(int64_t j) const override {
+    if (j < 0 || j >= total_) {
+      return Status::OutOfRange("rank " + std::to_string(j) +
+                                " outside [0, " + std::to_string(total_) +
+                                ")");
+    }
+    std::vector<uint32_t> chosen(nodes_.size(), 0);
+    FGQ_RETURN_NOT_OK(Locate(0, Tuple{}, j, &chosen));
+    Tuple out(out_slots_.size());
+    for (size_t i = 0; i < out_slots_.size(); ++i) {
+      out[i] = nodes_[out_slots_[i].first].rel.RowData(
+          chosen[out_slots_[i].first])[out_slots_[i].second];
+    }
+    return out;
+  }
+
+  Result<Tuple> Sample(Rng* rng) const override {
+    if (total_ == 0) return Status::OutOfRange("empty answer set");
+    return Answer(
+        static_cast<int64_t>(rng->Below(static_cast<uint64_t>(total_))));
+  }
+
+ private:
+  RandomAccessImpl() = default;
+
+  /// Fixes the row of `node` for rank `j` among the completions of its
+  /// subtree given the connector `key`, then distributes the residual rank
+  /// over the children in mixed radix.
+  Status Locate(size_t node, const Tuple& key, int64_t j,
+                std::vector<uint32_t>* chosen) const {
+    auto it = buckets_[node].find(key);
+    if (it == buckets_[node].end()) {
+      return Status::Internal("rank descent hit an empty bucket");
+    }
+    const Bucket& b = it->second;
+    // First index with prefix > j.
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(b.prefix.begin(), b.prefix.end(), j) -
+        b.prefix.begin());
+    if (idx >= b.rows.size()) {
+      return Status::Internal("rank descent out of range");
+    }
+    int64_t local = j - (idx == 0 ? 0 : b.prefix[idx - 1]);
+    uint32_t row = b.rows[idx];
+    (*chosen)[node] = row;
+    const Value* row_data = nodes_[node].rel.RowData(row);
+    for (int child : children_[node]) {
+      size_t ci = static_cast<size_t>(child);
+      Tuple ckey(parent_cols_[ci].size());
+      for (size_t jj = 0; jj < ckey.size(); ++jj) {
+        ckey[jj] = row_data[parent_cols_[ci][jj]];
+      }
+      auto cit = buckets_[ci].find(ckey);
+      int64_t w = cit == buckets_[ci].end() ? 0 : cit->second.Total();
+      if (w == 0) return Status::Internal("zero-weight child in descent");
+      FGQ_RETURN_NOT_OK(Locate(ci, ckey, local % w, chosen));
+      local /= w;
+    }
+    return Status::OK();
+  }
+
+  std::vector<PreparedAtom> nodes_;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<size_t>> conn_cols_;    // Node-side columns.
+  std::vector<std::vector<size_t>> parent_cols_;  // Parent-side columns.
+  std::vector<std::unordered_map<Tuple, Bucket, VecHash>> buckets_;
+  std::vector<std::pair<size_t, size_t>> out_slots_;
+  int64_t total_ = 0;
+};
+
+/// Trivial cases: empty answer sets and Boolean queries.
+class FixedAnswers : public RandomAccessAnswers {
+ public:
+  explicit FixedAnswers(int64_t total) : total_(total) {}
+  int64_t Count() const override { return total_; }
+  Result<Tuple> Answer(int64_t j) const override {
+    if (j < 0 || j >= total_) return Status::OutOfRange("rank out of range");
+    return Tuple{};
+  }
+  Result<Tuple> Sample(Rng*) const override {
+    if (total_ == 0) return Status::OutOfRange("empty answer set");
+    return Tuple{};
+  }
+
+ private:
+  int64_t total_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RandomAccessAnswers>> BuildRandomAccess(
+    const ConjunctiveQuery& q, const Database& db) {
+  FGQ_ASSIGN_OR_RETURN(FreeConnexPlan plan, BuildFreeConnexPlan(q, db));
+  if (plan.empty) {
+    return std::unique_ptr<RandomAccessAnswers>(new FixedAnswers(0));
+  }
+  if (q.IsBoolean()) {
+    return std::unique_ptr<RandomAccessAnswers>(new FixedAnswers(1));
+  }
+  return RandomAccessImpl::Build(std::move(plan), q.head());
+}
+
+}  // namespace fgq

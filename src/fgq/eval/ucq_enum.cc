@@ -1,0 +1,280 @@
+#include "fgq/eval/ucq_enum.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "fgq/eval/oracle.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/util/hash.h"
+
+namespace fgq {
+
+namespace {
+
+/// Backtracking search for a body homomorphism mapping every atom of
+/// `provider` onto some atom of `deficient` with the same symbol.
+bool FindBodyHomomorphism(const ConjunctiveQuery& provider,
+                          const ConjunctiveQuery& deficient, size_t atom_idx,
+                          std::map<std::string, std::string>* h) {
+  if (atom_idx == provider.atoms().size()) return true;
+  const Atom& pa = provider.atoms()[atom_idx];
+  for (const Atom& da : deficient.atoms()) {
+    if (da.relation != pa.relation || da.args.size() != pa.args.size() ||
+        da.negated != pa.negated) {
+      continue;
+    }
+    // Try to unify pa -> da.
+    std::vector<std::pair<std::string, std::string>> added;
+    bool ok = true;
+    for (size_t j = 0; j < pa.args.size() && ok; ++j) {
+      const Term& pt = pa.args[j];
+      const Term& dt = da.args[j];
+      if (!pt.is_var()) {
+        ok = !dt.is_var() && dt.constant == pt.constant;
+        continue;
+      }
+      if (!dt.is_var()) {
+        // h must map variables to variables.
+        ok = false;
+        continue;
+      }
+      auto it = h->find(pt.var);
+      if (it == h->end()) {
+        (*h)[pt.var] = dt.var;
+        added.push_back({pt.var, dt.var});
+      } else {
+        ok = it->second == dt.var;
+      }
+    }
+    if (ok && FindBodyHomomorphism(provider, deficient, atom_idx + 1, h)) {
+      return true;
+    }
+    for (const auto& [k, v] : added) h->erase(k);
+  }
+  return false;
+}
+
+/// True if the hypergraph of q, extended with an edge over `extra_vars`,
+/// is alpha-acyclic (the S-connexity test of Definition 4.11).
+bool IsSConnex(const ConjunctiveQuery& q,
+               const std::vector<std::string>& extra_vars) {
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  std::vector<int> ids;
+  for (const std::string& v : extra_vars) ids.push_back(hg.AddVertex(v));
+  hg.AddEdge(ids, -2);
+  return IsAlphaAcyclic(hg);
+}
+
+}  // namespace
+
+bool ProvidesVariables(
+    const ConjunctiveQuery& provider, const ConjunctiveQuery& deficient,
+    const std::vector<std::string>& targets,
+    std::vector<std::pair<std::string, std::string>>* h_out) {
+  std::map<std::string, std::string> h;
+  if (!FindBodyHomomorphism(provider, deficient, 0, &h)) return false;
+
+  std::set<std::string> target_set(targets.begin(), targets.end());
+  std::set<std::string> provider_free(provider.head().begin(),
+                                      provider.head().end());
+  // h^-1(targets) must lie inside free(provider), and every target needs a
+  // preimage (otherwise its values cannot be produced).
+  std::vector<std::string> preimage;
+  std::set<std::string> covered;
+  for (const auto& [w, v] : h) {
+    if (target_set.count(v)) {
+      if (!provider_free.count(w)) return false;
+      preimage.push_back(w);
+      covered.insert(v);
+    }
+  }
+  if (covered.size() != target_set.size()) return false;
+
+  // Some S with preimage <= S <= free(provider) must make the provider
+  // S-connex. Try S = preimage first, then grow greedily to free(provider).
+  std::vector<std::string> free_list(provider_free.begin(),
+                                     provider_free.end());
+  bool connex = false;
+  if (IsSConnex(provider, preimage)) {
+    connex = true;
+  } else if (IsSConnex(provider, free_list)) {
+    connex = true;
+  } else {
+    // Exhaustive search over subsets between preimage and free(provider).
+    std::vector<std::string> optional_vars;
+    std::set<std::string> pre_set(preimage.begin(), preimage.end());
+    for (const std::string& v : free_list) {
+      if (!pre_set.count(v)) optional_vars.push_back(v);
+    }
+    const size_t k = optional_vars.size();
+    for (uint64_t mask = 1; mask + 1 < (uint64_t{1} << k) && !connex; ++mask) {
+      std::vector<std::string> s = preimage;
+      for (size_t j = 0; j < k; ++j) {
+        if (mask & (uint64_t{1} << j)) s.push_back(optional_vars[j]);
+      }
+      connex = IsSConnex(provider, s);
+    }
+  }
+  if (!connex) return false;
+
+  if (h_out) {
+    h_out->assign(h.begin(), h.end());
+  }
+  return true;
+}
+
+Result<UnionQuery> BuildFreeConnexExtension(const UnionQuery& u,
+                                            const Database& db,
+                                            Database* scratch) {
+  FGQ_RETURN_NOT_OK(u.Validate());
+  UnionQuery out;
+  out.name = u.name;
+  int fresh = 0;
+  for (size_t i = 0; i < u.disjuncts.size(); ++i) {
+    const ConjunctiveQuery& q = u.disjuncts[i];
+    if (IsAcyclicQuery(q) && IsFreeConnex(q)) {
+      out.disjuncts.push_back(q);
+      continue;
+    }
+    // Search for a provided variable set that repairs free-connexity:
+    // candidate target sets are subsets of the disjunct's variables, tried
+    // from largest to smallest (larger atoms constrain more).
+    std::vector<std::string> vars = q.Variables();
+    if (vars.size() > 16) {
+      return Status::Unsupported("union-extension search limited to 16 "
+                                 "variables per disjunct");
+    }
+    bool repaired = false;
+    std::vector<uint64_t> masks;
+    for (uint64_t mask = 1; mask < (uint64_t{1} << vars.size()); ++mask) {
+      masks.push_back(mask);
+    }
+    std::sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+      return __builtin_popcountll(a) > __builtin_popcountll(b);
+    });
+    for (uint64_t mask : masks) {
+      std::vector<std::string> targets;
+      for (size_t j = 0; j < vars.size(); ++j) {
+        if (mask & (uint64_t{1} << j)) targets.push_back(vars[j]);
+      }
+      // Would adding an atom over `targets` make the disjunct acyclic and
+      // free-connex?
+      ConjunctiveQuery candidate = q;
+      Atom extra;
+      extra.relation = "__probe";
+      for (const std::string& t : targets) extra.args.push_back(Term::Var(t));
+      candidate.AddAtom(extra);
+      if (!IsAcyclicQuery(candidate) || !IsFreeConnex(candidate)) continue;
+      // Does some other disjunct provide these variables?
+      for (size_t p = 0; p < u.disjuncts.size() && !repaired; ++p) {
+        if (p == i) continue;
+        std::vector<std::pair<std::string, std::string>> h;
+        if (!ProvidesVariables(u.disjuncts[p], q, targets, &h)) continue;
+        // Materialize the provided atom from the provider's answers.
+        Result<Relation> provider_answers =
+            EvaluateYannakakis(u.disjuncts[p], db);
+        if (!provider_answers.ok()) {
+          provider_answers = EvaluateBacktrack(u.disjuncts[p], db);
+        }
+        if (!provider_answers.ok()) return provider_answers.status();
+        // Column of each target inside the provider head, via a preimage.
+        std::vector<size_t> cols;
+        for (const std::string& t : targets) {
+          int col = -1;
+          for (const auto& [w, v] : h) {
+            if (v != t) continue;
+            const std::vector<std::string>& phead = u.disjuncts[p].head();
+            auto it = std::find(phead.begin(), phead.end(), w);
+            if (it != phead.end()) {
+              col = static_cast<int>(it - phead.begin());
+              break;
+            }
+          }
+          if (col < 0) {
+            return Status::Internal("provided variable lost its preimage");
+          }
+          cols.push_back(static_cast<size_t>(col));
+        }
+        std::string rel_name =
+            "__provided_" + std::to_string(i) + "_" + std::to_string(fresh++);
+        Relation provided =
+            provider_answers.value().Project(cols, rel_name);
+        scratch->PutRelation(std::move(provided));
+        ConjunctiveQuery extended = q;
+        Atom pa;
+        pa.relation = rel_name;
+        for (const std::string& t : targets) pa.args.push_back(Term::Var(t));
+        extended.AddAtom(std::move(pa));
+        out.disjuncts.push_back(std::move(extended));
+        repaired = true;
+      }
+      if (repaired) break;
+    }
+    if (!repaired) {
+      return Status::InvalidArgument(
+          "disjunct is not free-connex and no union extension repairs it: " +
+          q.ToString());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Round-robin interleaving of per-disjunct enumerators with hash-set
+/// deduplication (amortized constant delay, Cheater's lemma style).
+class UnionEnumerator : public AnswerEnumerator {
+ public:
+  explicit UnionEnumerator(
+      std::vector<std::unique_ptr<AnswerEnumerator>> parts)
+      : parts_(std::move(parts)) {}
+
+  bool Next(Tuple* out) override {
+    while (!parts_.empty()) {
+      if (turn_ >= parts_.size()) turn_ = 0;
+      Tuple t;
+      if (!parts_[turn_]->Next(&t)) {
+        parts_.erase(parts_.begin() + static_cast<ptrdiff_t>(turn_));
+        continue;
+      }
+      ++turn_;
+      if (seen_.insert(t).second) {
+        *out = std::move(t);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<AnswerEnumerator>> parts_;
+  std::unordered_set<Tuple, VecHash> seen_;
+  size_t turn_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AnswerEnumerator>> MakeUnionEnumerator(
+    const UnionQuery& u, const Database& db) {
+  auto scratch = std::make_unique<Database>();
+  FGQ_ASSIGN_OR_RETURN(UnionQuery extended,
+                       BuildFreeConnexExtension(u, db, scratch.get()));
+  // Merge views so extended disjuncts can see the provided relations.
+  Database merged;
+  for (const auto& [name, rel] : db.relations()) merged.PutRelation(rel);
+  for (const auto& [name, rel] : scratch->relations()) merged.PutRelation(rel);
+
+  std::vector<std::unique_ptr<AnswerEnumerator>> parts;
+  for (const ConjunctiveQuery& q : extended.disjuncts) {
+    FGQ_ASSIGN_OR_RETURN(std::unique_ptr<AnswerEnumerator> e,
+                         MakeConstantDelayEnumerator(q, merged));
+    parts.push_back(std::move(e));
+  }
+  return std::unique_ptr<AnswerEnumerator>(
+      new UnionEnumerator(std::move(parts)));
+}
+
+}  // namespace fgq

@@ -1,0 +1,56 @@
+#ifndef FGQ_EVAL_UCQ_ENUM_H_
+#define FGQ_EVAL_UCQ_ENUM_H_
+
+#include <memory>
+
+#include "fgq/eval/enumerate.h"
+#include "fgq/query/cq.h"
+
+/// \file ucq_enum.h
+/// Enumeration for unions of conjunctive queries (Section 4.2, [22]).
+///
+/// * If every disjunct is free-connex, the union is enumerable with
+///   constant (amortized) delay: the disjuncts' constant-delay enumerators
+///   are interleaved and duplicates are suppressed with a hash set — the
+///   Cheater's-lemma argument of [22] bounds the amortized delay because
+///   each enumerator individually never repeats and there are only k of
+///   them.
+/// * A disjunct that is NOT free-connex can still be easy when its
+///   missing variables are *provided* by another disjunct
+///   (Definitions 4.11/4.12): we search for a body homomorphism from a
+///   provider into the deficient disjunct, materialize the provider's
+///   projection as a fresh atom P(v), and enumerate the now free-connex
+///   union extension. Materializing the provided atom costs time
+///   proportional to the provider's answer set (an output-sensitive
+///   relaxation of [22]'s strictly-linear preprocessing; the enumeration
+///   delay is unchanged).
+
+namespace fgq {
+
+/// True if `provider` provides the variables `targets` (names in
+/// `deficient`'s variable space) to `deficient` in the sense of
+/// Definition 4.11: some body homomorphism h maps provider atoms into
+/// deficient atoms with h^-1(targets) free in the provider. On success,
+/// `h_out` (optional) receives the homomorphism as pairs
+/// (provider var -> deficient var).
+bool ProvidesVariables(const ConjunctiveQuery& provider,
+                       const ConjunctiveQuery& deficient,
+                       const std::vector<std::string>& targets,
+                       std::vector<std::pair<std::string, std::string>>* h_out);
+
+/// Attempts to make every disjunct free-connex by adding provided atoms
+/// (union extension, Definition 4.12). Returns the extended UCQ and
+/// appends materialized provider relations to `scratch`. Fails if some
+/// disjunct cannot be extended.
+Result<UnionQuery> BuildFreeConnexExtension(const UnionQuery& u,
+                                            const Database& db,
+                                            Database* scratch);
+
+/// Enumerates a UCQ with (amortized) constant delay after preprocessing,
+/// using union extensions where needed (Theorem 4.13).
+Result<std::unique_ptr<AnswerEnumerator>> MakeUnionEnumerator(
+    const UnionQuery& u, const Database& db);
+
+}  // namespace fgq
+
+#endif  // FGQ_EVAL_UCQ_ENUM_H_

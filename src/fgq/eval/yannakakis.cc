@@ -1,0 +1,138 @@
+#include "fgq/eval/yannakakis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fgq {
+
+Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q,
+                                const Database& db) {
+  if (q.HasNegation()) {
+    return Status::Unsupported(
+        "Yannakakis handles positive queries; see ncq.h for NCQ");
+  }
+  ReducedQuery out;
+  out.hg = Hypergraph::FromQuery(q);
+  GyoResult gyo = GyoReduce(out.hg);
+  if (!gyo.acyclic) {
+    return Status::InvalidArgument("query is not alpha-acyclic: " +
+                                   q.ToString());
+  }
+  out.tree = std::move(gyo.tree);
+  FGQ_ASSIGN_OR_RETURN(out.atoms, PrepareAtoms(q, db));
+
+  // Bottom-up sweep: reduce each parent by its children.
+  for (int e : out.tree.BottomUpOrder()) {
+    int p = out.tree.parent[e];
+    if (p >= 0) SemijoinReduce(&out.atoms[p], out.atoms[e]);
+  }
+  // Top-down sweep: reduce each child by its parent.
+  for (int e : out.tree.TopDownOrder()) {
+    for (int c : out.tree.children[e]) {
+      SemijoinReduce(&out.atoms[c], out.atoms[e]);
+    }
+  }
+  for (const PreparedAtom& a : out.atoms) {
+    if (a.rel.empty() && a.rel.arity() > 0) {
+      out.empty = true;
+    }
+    // A nullary prepared atom is empty exactly when its filter removed all
+    // rows (or the relation was empty).
+    if (a.rel.arity() == 0 && a.rel.NumTuples() == 0) out.empty = true;
+  }
+  return out;
+}
+
+namespace {
+
+/// Joins the subtree rooted at `e` bottom-up, keeping free variables plus
+/// the connector to e's parent.
+PreparedAtom JoinSubtree(const ReducedQuery& rq,
+                         const std::set<std::string>& free, int e) {
+  PreparedAtom acc = rq.atoms[e];
+  // Variables of the parent, used to decide what must be kept.
+  std::set<std::string> parent_vars;
+  int p = rq.tree.parent[e];
+  if (p >= 0) {
+    parent_vars.insert(rq.atoms[p].vars.begin(), rq.atoms[p].vars.end());
+  }
+  for (int c : rq.tree.children[e]) {
+    PreparedAtom sub = JoinSubtree(rq, free, c);
+    // Keep: free variables present on either side, plus variables of e
+    // (needed to connect to remaining children and the parent).
+    std::vector<std::string> keep;
+    std::set<std::string> seen;
+    auto add = [&](const std::string& v) {
+      if (seen.insert(v).second) keep.push_back(v);
+    };
+    for (const std::string& v : acc.vars) {
+      if (free.count(v) || rq.atoms[e].VarIndex(v) >= 0 || parent_vars.count(v)) {
+        add(v);
+      }
+    }
+    for (const std::string& v : sub.vars) {
+      if (free.count(v) || rq.atoms[e].VarIndex(v) >= 0 || parent_vars.count(v)) {
+        add(v);
+      }
+    }
+    acc = JoinProject(acc, sub, keep);
+  }
+  // Project away existential variables not needed by the parent.
+  std::vector<std::string> keep;
+  for (const std::string& v : acc.vars) {
+    if (free.count(v) || parent_vars.count(v)) keep.push_back(v);
+  }
+  if (keep.size() != acc.vars.size()) {
+    std::vector<size_t> cols;
+    for (const std::string& v : keep) {
+      cols.push_back(static_cast<size_t>(acc.VarIndex(v)));
+    }
+    acc.rel = acc.rel.Project(cols, acc.rel.name());
+    acc.vars = keep;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
+                                    const Database& db) {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db));
+  if (rq.empty) {
+    return Relation(q.name(), q.arity());
+  }
+  std::set<std::string> free(q.head().begin(), q.head().end());
+  PreparedAtom joined = JoinSubtree(rq, free, rq.tree.root);
+
+  // Reorder columns into head order. Boolean query: arity-0 result.
+  Relation out(q.name(), q.arity());
+  if (q.IsBoolean()) {
+    if (joined.rel.NumTuples() > 0) out.AddNullary();
+    return out;
+  }
+  std::vector<size_t> cols;
+  for (const std::string& v : q.head()) {
+    int c = joined.VarIndex(v);
+    if (c < 0) {
+      return Status::Internal("head variable '" + v +
+                              "' missing from join result");
+    }
+    cols.push_back(static_cast<size_t>(c));
+  }
+  out = joined.rel.Project(cols, q.name());
+  out.set_name(q.name());
+  return out;
+}
+
+Result<bool> EvaluateBooleanAcq(const ConjunctiveQuery& q,
+                                const Database& db) {
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument("query is not Boolean: " + q.ToString());
+  }
+  // Only the bottom-up sweep is needed for satisfiability.
+  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db));
+  return !rq.empty;
+}
+
+}  // namespace fgq

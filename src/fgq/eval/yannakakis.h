@@ -1,0 +1,44 @@
+#ifndef FGQ_EVAL_YANNAKAKIS_H_
+#define FGQ_EVAL_YANNAKAKIS_H_
+
+#include <vector>
+
+#include "fgq/eval/prepared.h"
+#include "fgq/hypergraph/hypergraph.h"
+
+/// \file yannakakis.h
+/// Yannakakis' algorithm for acyclic conjunctive queries (Theorem 4.2):
+/// a bottom-up then top-down semijoin sweep over a join tree removes every
+/// dangling tuple ("full reduction"), after which the answer set can be
+/// assembled by joins whose intermediate results never exceed
+/// ||D|| * ||phi(D)||, for a total of O(||phi|| * ||D|| * ||phi(D)||).
+
+namespace fgq {
+
+/// An acyclic query after full reduction: prepared atoms (aligned with the
+/// query's atom indices), the query hypergraph, and a join tree.
+struct ReducedQuery {
+  std::vector<PreparedAtom> atoms;
+  Hypergraph hg;
+  JoinTree tree;
+  /// True when some relation became empty: phi(D) is empty.
+  bool empty = false;
+};
+
+/// Runs preparation plus the two semijoin sweeps. Fails when the query is
+/// not acyclic, has negated atoms, or references missing relations.
+/// Comparisons are ignored here (callers layering ACQ_!= handle them).
+Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db);
+
+/// Computes phi(D) for an acyclic query, with columns in head order.
+/// For Boolean queries the result has arity 0 and is nonempty iff D |= phi.
+Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
+                                    const Database& db);
+
+/// Model checking for Boolean acyclic queries: only the bottom-up sweep is
+/// needed, giving O(||phi|| * ||D||).
+Result<bool> EvaluateBooleanAcq(const ConjunctiveQuery& q, const Database& db);
+
+}  // namespace fgq
+
+#endif  // FGQ_EVAL_YANNAKAKIS_H_

@@ -1,0 +1,116 @@
+#ifndef FGQ_FO_BOUNDED_DEGREE_H_
+#define FGQ_FO_BOUNDED_DEGREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fgq/db/database.h"
+#include "fgq/eval/enumerate.h"
+#include "fgq/query/fo.h"
+#include "fgq/util/status.h"
+
+/// \file bounded_degree.h
+/// FO query answering on structures of bounded (and low) degree
+/// (Sections 3.1-3.2; Theorems 3.1, 3.2, 3.9, 3.10; [32, 59, 51, 36]).
+///
+/// The enabling fact is locality: in a structure of degree <= d, the
+/// radius-r Gaifman ball around an element has at most d^(r+1) elements,
+/// so any r-local condition is checkable in constant time per element.
+/// We expose the machinery the survey explains:
+///
+/// * AdjacencyIndex / GaifmanBall — neighborhood extraction in time
+///   proportional to the ball size.
+/// * LocalQuery evaluation — unary queries "x satisfies theta within its
+///   radius-r ball", evaluated in f(||phi||, d, r) per element: model
+///   checking of exists x. theta(x) / forall x. theta(x), counting, and
+///   constant-delay enumeration after linear preprocessing (the
+///   Theorem 3.1/3.2 shape). On low-degree classes (degree <= n^eps,
+///   Definition 3.8) the same code is pseudo-linear (Theorems 3.9/3.10).
+/// * The Example 3.3 quantifier elimination — exists y. psi(y) /\ y != f_1
+///   (x_1) /\ ... /\ y != f_k(x_k) reduces to comparing the number of
+///   distinct excluded psi-elements with |psi| — and Algorithm 1, the
+///   constant-delay product-with-exceptions enumerator it feeds.
+
+namespace fgq {
+
+/// Per-element incidence lists over all relations of a database.
+class AdjacencyIndex {
+ public:
+  explicit AdjacencyIndex(const Database& db);
+
+  /// Gaifman neighbors of `v` (elements sharing a tuple with it),
+  /// deduplicated.
+  const std::vector<Value>& Neighbors(Value v) const;
+
+  /// Elements at Gaifman distance <= radius from `center` (including it).
+  std::vector<Value> Ball(Value center, int radius) const;
+
+  Value domain_size() const {
+    return static_cast<Value>(neighbors_.size());
+  }
+
+ private:
+  std::vector<std::vector<Value>> neighbors_;
+  std::vector<Value> empty_;
+};
+
+/// A unary local query: "theta holds of x, with all quantifiers ranging
+/// over the radius-r ball around x".
+struct LocalQuery {
+  FoPtr theta;      // One free variable.
+  std::string var;  // Its name.
+  int radius = 1;
+};
+
+/// True if `q` holds at element `a` (quantifiers relativized to the ball).
+Result<bool> HoldsAt(const LocalQuery& q, const Database& db,
+                     const AdjacencyIndex& adj, Value a);
+
+/// Model checks exists x. theta(x) in time O(n * f(d^r)).
+Result<bool> ModelCheckExistsLocal(const LocalQuery& q, const Database& db);
+
+/// Counts the elements satisfying theta (Theorem 3.2's counting claim).
+Result<int64_t> CountLocal(const LocalQuery& q, const Database& db);
+
+/// Linear preprocessing + constant-delay enumeration of the satisfying
+/// elements (Theorem 3.2's enumeration claim).
+Result<std::unique_ptr<AnswerEnumerator>> MakeLocalEnumerator(
+    const LocalQuery& q, const Database& db);
+
+/// The Definition 3.8 test: degree(D) <= |D|^eps.
+bool IsLowDegree(const Database& db, double eps);
+
+// ---- Example 3.3 / Algorithm 1 ----------------------------------------------
+
+/// A structure of unary partial functions over [0, n), the normalized
+/// representation of bounded-degree data used by [32]'s quantifier
+/// elimination. funcs[i][x] is f_i(x), or kNoValue when undefined.
+struct FunctionalStructure {
+  static constexpr Value kNoValue = -1;
+  std::vector<std::vector<Value>> funcs;
+  std::vector<bool> psi;  // The unary predicate of Example 3.3.
+
+  size_t domain_size() const { return psi.size(); }
+  size_t PsiCount() const;
+};
+
+/// Example 3.3 semantics: exists y. psi(y) /\ /\_i y != f_i(args[i]) —
+/// true iff the number of *distinct* values f_i(args[i]) lying in psi is
+/// strictly smaller than |psi|. Constant time in the data for fixed k.
+bool ExistsPsiAvoiding(const FunctionalStructure& fs,
+                       const std::vector<size_t>& func_ids,
+                       const std::vector<Value>& args);
+
+/// Algorithm 1: enumerates {(a, b) : a in lhs, b in rhs, b not excluded
+/// by a} with constant delay, given |exclusions(a)| <= k << |rhs|.
+/// `exclusions` returns the excluded b-values for a given a. Outputs via
+/// `emit(a, b)`. Returns the number of pairs emitted.
+int64_t EnumeratePairsWithExceptions(
+    const std::vector<Value>& lhs, const std::vector<Value>& rhs,
+    const std::function<std::vector<Value>(Value)>& exclusions,
+    const std::function<void(Value, Value)>& emit);
+
+}  // namespace fgq
+
+#endif  // FGQ_FO_BOUNDED_DEGREE_H_

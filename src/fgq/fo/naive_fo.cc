@@ -1,0 +1,172 @@
+#include "fgq/fo/naive_fo.h"
+
+namespace fgq {
+
+FoEvalContext::FoEvalContext(const Database& db)
+    : domain_size_(db.DomainSize()) {
+  for (const auto& [name, rel] : db.relations()) {
+    auto& set = sets_[name];
+    set.reserve(rel.NumTuples());
+    for (size_t i = 0; i < rel.NumTuples(); ++i) {
+      set.insert(rel.Row(i).ToTuple());
+    }
+  }
+}
+
+bool FoEvalContext::Holds(const std::string& name, const Tuple& t) const {
+  auto it = sets_.find(name);
+  return it != sets_.end() && it->second.count(t) > 0;
+}
+
+namespace {
+
+Result<Value> TermValue(const Term& t,
+                        const std::map<std::string, Value>& assignment) {
+  if (!t.is_var()) return t.constant;
+  auto it = assignment.find(t.var);
+  if (it == assignment.end()) {
+    return Status::InvalidArgument("unbound variable '" + t.var + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<bool> EvalFo(const FoFormula& f, const FoEvalContext& ctx,
+                    std::map<std::string, Value>* assignment) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kAtom: {
+      if (f.is_so_atom()) {
+        return Status::Unsupported(
+            "second-order atoms require the so/ evaluators");
+      }
+      Tuple t(f.args().size());
+      for (size_t i = 0; i < f.args().size(); ++i) {
+        FGQ_ASSIGN_OR_RETURN(t[i], TermValue(f.args()[i], *assignment));
+      }
+      return ctx.Holds(f.relation(), t);
+    }
+    case FoFormula::Kind::kEquals: {
+      FGQ_ASSIGN_OR_RETURN(Value a, TermValue(f.args()[0], *assignment));
+      FGQ_ASSIGN_OR_RETURN(Value b, TermValue(f.args()[1], *assignment));
+      return a == b;
+    }
+    case FoFormula::Kind::kLess: {
+      FGQ_ASSIGN_OR_RETURN(Value a, TermValue(f.args()[0], *assignment));
+      FGQ_ASSIGN_OR_RETURN(Value b, TermValue(f.args()[1], *assignment));
+      return a < b;
+    }
+    case FoFormula::Kind::kTrue:
+      return true;
+    case FoFormula::Kind::kNot: {
+      FGQ_ASSIGN_OR_RETURN(bool v, EvalFo(f.child(), ctx, assignment));
+      return !v;
+    }
+    case FoFormula::Kind::kAnd: {
+      for (const FoPtr& c : f.children()) {
+        FGQ_ASSIGN_OR_RETURN(bool v, EvalFo(*c, ctx, assignment));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case FoFormula::Kind::kOr: {
+      for (const FoPtr& c : f.children()) {
+        FGQ_ASSIGN_OR_RETURN(bool v, EvalFo(*c, ctx, assignment));
+        if (v) return true;
+      }
+      return false;
+    }
+    case FoFormula::Kind::kExists:
+    case FoFormula::Kind::kForall: {
+      const std::string& var = f.quantified_var();
+      auto saved = assignment->find(var);
+      bool had = saved != assignment->end();
+      Value old = had ? saved->second : 0;
+      bool result = f.kind() == FoFormula::Kind::kForall;
+      for (Value d = 0; d < ctx.domain_size(); ++d) {
+        (*assignment)[var] = d;
+        FGQ_ASSIGN_OR_RETURN(bool v, EvalFo(f.child(), ctx, assignment));
+        if (f.kind() == FoFormula::Kind::kExists && v) {
+          result = true;
+          break;
+        }
+        if (f.kind() == FoFormula::Kind::kForall && !v) {
+          result = false;
+          break;
+        }
+      }
+      if (had) {
+        (*assignment)[var] = old;
+      } else {
+        assignment->erase(var);
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unhandled formula kind");
+}
+
+Result<bool> ModelCheckFoNaive(const FoFormula& sentence, const Database& db) {
+  if (!sentence.FreeVariables().empty()) {
+    return Status::InvalidArgument("not a sentence: " + sentence.ToString());
+  }
+  FoEvalContext ctx(db);
+  std::map<std::string, Value> assignment;
+  return EvalFo(sentence, ctx, &assignment);
+}
+
+namespace {
+
+template <typename OnAnswer>
+Status ForEachAnswer(const FoFormula& f, const Database& db,
+                     const std::vector<std::string>& head,
+                     const OnAnswer& on_answer) {
+  std::vector<std::string> free = f.FreeVariables();
+  for (const std::string& v : free) {
+    if (std::find(head.begin(), head.end(), v) == head.end()) {
+      return Status::InvalidArgument("free variable '" + v +
+                                     "' missing from head");
+    }
+  }
+  FoEvalContext ctx(db);
+  std::map<std::string, Value> assignment;
+  Tuple t(head.size(), 0);
+  // Odometer over domain^|head|.
+  while (true) {
+    for (size_t i = 0; i < head.size(); ++i) assignment[head[i]] = t[i];
+    FGQ_ASSIGN_OR_RETURN(bool v, EvalFo(f, ctx, &assignment));
+    if (v) on_answer(t);
+    size_t p = 0;
+    while (p < head.size() && ++t[p] == ctx.domain_size()) {
+      t[p] = 0;
+      ++p;
+    }
+    if (p == head.size() || head.empty()) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> EvaluateFoNaive(const FoFormula& f, const Database& db,
+                                 const std::vector<std::string>& head) {
+  Relation out("fo", head.size());
+  FGQ_RETURN_NOT_OK(ForEachAnswer(f, db, head, [&](const Tuple& t) {
+    if (head.empty()) {
+      out.AddNullary();
+    } else {
+      out.Add(t);
+    }
+  }));
+  out.SortDedup();
+  return out;
+}
+
+Result<int64_t> CountFoNaive(const FoFormula& f, const Database& db,
+                             const std::vector<std::string>& head) {
+  int64_t count = 0;
+  FGQ_RETURN_NOT_OK(ForEachAnswer(f, db, head, [&](const Tuple&) { ++count; }));
+  return count;
+}
+
+}  // namespace fgq

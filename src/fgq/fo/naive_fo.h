@@ -1,0 +1,56 @@
+#ifndef FGQ_FO_NAIVE_FO_H_
+#define FGQ_FO_NAIVE_FO_H_
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fgq/db/database.h"
+#include "fgq/query/fo.h"
+#include "fgq/util/hash.h"
+#include "fgq/util/status.h"
+
+/// \file naive_fo.h
+/// Generic first-order evaluation — the ||phi|| * ||D||^h baseline of
+/// Section 3. Quantifiers range over the whole domain, so a sentence of
+/// quantifier depth d costs O(n^d) atom checks; this is the curve the
+/// sparsity-based algorithms (bounded_degree.h) beat on sparse classes.
+
+namespace fgq {
+
+/// Hash-set view of a database's relations, so atom checks are O(1).
+class FoEvalContext {
+ public:
+  explicit FoEvalContext(const Database& db);
+
+  /// True if relation `name` contains `t`. Unknown relations are empty.
+  bool Holds(const std::string& name, const Tuple& t) const;
+
+  Value domain_size() const { return domain_size_; }
+
+ private:
+  std::map<std::string, std::unordered_set<Tuple, VecHash>> sets_;
+  Value domain_size_;
+};
+
+/// Evaluates `f` under `assignment` (which must bind every free variable).
+/// Quantifiers range over [0, domain). Second-order atoms are rejected.
+Result<bool> EvalFo(const FoFormula& f, const FoEvalContext& ctx,
+                    std::map<std::string, Value>* assignment);
+
+/// Model checking for FO sentences: O(||phi|| * n^depth).
+Result<bool> ModelCheckFoNaive(const FoFormula& sentence, const Database& db);
+
+/// Computes the answer set of phi(head...) by looping over all
+/// assignments of the free variables: O(n^(|head| + depth)).
+Result<Relation> EvaluateFoNaive(const FoFormula& f, const Database& db,
+                                 const std::vector<std::string>& head);
+
+/// Counts answers without materializing them.
+Result<int64_t> CountFoNaive(const FoFormula& f, const Database& db,
+                             const std::vector<std::string>& head);
+
+}  // namespace fgq
+
+#endif  // FGQ_FO_NAIVE_FO_H_

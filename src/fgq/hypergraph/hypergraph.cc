@@ -1,0 +1,298 @@
+#include "fgq/hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace fgq {
+
+Hypergraph Hypergraph::FromQuery(const ConjunctiveQuery& q) {
+  Hypergraph hg;
+  for (const std::string& v : q.Variables()) hg.AddVertex(v);
+  for (size_t i = 0; i < q.atoms().size(); ++i) {
+    hg.AddEdgeByNames(q.atoms()[i].Variables(), static_cast<int>(i));
+  }
+  return hg;
+}
+
+int Hypergraph::AddVertex(const std::string& name) {
+  int existing = FindVertex(name);
+  if (existing >= 0) return existing;
+  vertex_names_.push_back(name);
+  incident_.emplace_back();
+  return static_cast<int>(vertex_names_.size()) - 1;
+}
+
+int Hypergraph::AddEdge(std::vector<int> vertices, int label) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  int e = static_cast<int>(edges_.size());
+  for (int v : vertices) incident_[v].push_back(e);
+  edges_.push_back(std::move(vertices));
+  labels_.push_back(label);
+  return e;
+}
+
+int Hypergraph::AddEdgeByNames(const std::vector<std::string>& names,
+                               int label) {
+  std::vector<int> ids;
+  ids.reserve(names.size());
+  for (const std::string& n : names) ids.push_back(AddVertex(n));
+  return AddEdge(std::move(ids), label);
+}
+
+int Hypergraph::FindVertex(const std::string& name) const {
+  for (size_t i = 0; i < vertex_names_.size(); ++i) {
+    if (vertex_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Hypergraph::EdgeSubset(int a, int b) const {
+  return std::includes(edges_[b].begin(), edges_[b].end(), edges_[a].begin(),
+                       edges_[a].end());
+}
+
+bool Hypergraph::Adjacent(int u, int v) const {
+  for (int e : incident_[u]) {
+    if (std::binary_search(edges_[e].begin(), edges_[e].end(), v)) return true;
+  }
+  return false;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream os;
+  os << "H(V=" << NumVertices() << ", E=" << NumEdges() << ")";
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    os << "\n  e" << e << " = {";
+    for (size_t i = 0; i < edges_[e].size(); ++i) {
+      if (i) os << ", ";
+      os << vertex_names_[edges_[e][i]];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+// ---- JoinTree ---------------------------------------------------------------
+
+std::vector<int> JoinTree::TopDownOrder() const {
+  std::vector<int> order;
+  if (root < 0) return order;
+  order.push_back(root);
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int c : children[order[i]]) order.push_back(c);
+  }
+  return order;
+}
+
+std::vector<int> JoinTree::BottomUpOrder() const {
+  std::vector<int> order = TopDownOrder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+bool JoinTree::IsValid(const Hypergraph& hg) const {
+  // Every edge must be a node.
+  std::vector<int> nodes = TopDownOrder();
+  if (nodes.size() != hg.NumEdges()) return false;
+  // Running intersection: for each vertex, nodes containing it must be
+  // connected. Equivalent check: for each non-root node e containing v,
+  // walking to the root must stay inside "contains v" until leaving it
+  // once and never re-entering. Simpler: for each vertex, count connected
+  // components among containing nodes via adjacency in the tree.
+  for (size_t v = 0; v < hg.NumVertices(); ++v) {
+    const std::vector<int>& in = hg.EdgesOf(static_cast<int>(v));
+    if (in.empty()) continue;
+    std::set<int> containing(in.begin(), in.end());
+    // A node is a component root (w.r.t. v) if its parent does not
+    // contain v.
+    int component_roots = 0;
+    for (int e : in) {
+      if (parent[e] < 0 || containing.count(parent[e]) == 0) {
+        ++component_roots;
+      }
+    }
+    if (component_roots != 1) return false;
+  }
+  return true;
+}
+
+void JoinTree::ReRoot(int new_root) {
+  if (new_root == root) return;
+  // Reverse parent pointers along the path new_root -> old root.
+  std::vector<int> path;
+  for (int e = new_root; e != -1; e = parent[e]) path.push_back(e);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    parent[path[i + 1]] = path[i];
+  }
+  parent[new_root] = -1;
+  root = new_root;
+  // Rebuild children lists.
+  for (auto& c : children) c.clear();
+  for (size_t e = 0; e < parent.size(); ++e) {
+    if (parent[e] >= 0) children[parent[e]].push_back(static_cast<int>(e));
+  }
+}
+
+std::string JoinTree::ToString(const Hypergraph& hg) const {
+  std::ostringstream os;
+  for (int e : TopDownOrder()) {
+    int depth = 0;
+    for (int p = parent[e]; p != -1; p = parent[p]) ++depth;
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << "e" << e << " {";
+    const std::vector<int>& vs = hg.Edge(e);
+    for (size_t i = 0; i < vs.size(); ++i) {
+      if (i) os << ", ";
+      os << hg.VertexName(vs[i]);
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+// ---- GYO reduction ----------------------------------------------------------
+
+GyoResult GyoReduce(const Hypergraph& hg) {
+  const size_t m = hg.NumEdges();
+  GyoResult result;
+  result.tree.parent.assign(m, -1);
+  result.tree.children.assign(m, {});
+  if (m == 0) {
+    result.acyclic = true;
+    return result;
+  }
+
+  // Working vertex sets, shrinking as the reduction proceeds.
+  std::vector<std::set<int>> sets(m);
+  for (size_t e = 0; e < m; ++e) {
+    sets[e].insert(hg.Edge(static_cast<int>(e)).begin(),
+                   hg.Edge(static_cast<int>(e)).end());
+  }
+  std::vector<bool> alive(m, true);
+  size_t alive_count = m;
+
+  bool changed = true;
+  while (changed && alive_count > 1) {
+    changed = false;
+    // Step 1: remove vertices occurring in exactly one alive edge.
+    std::vector<int> occurrence(hg.NumVertices(), 0);
+    for (size_t e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      for (int v : sets[e]) ++occurrence[v];
+    }
+    for (size_t e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      for (auto it = sets[e].begin(); it != sets[e].end();) {
+        if (occurrence[*it] == 1) {
+          it = sets[e].erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Step 2: remove edges contained in another alive edge, attaching them
+    // as children in the join tree.
+    for (size_t e = 0; e < m && alive_count > 1; ++e) {
+      if (!alive[e]) continue;
+      for (size_t f = 0; f < m; ++f) {
+        if (f == e || !alive[f]) continue;
+        if (std::includes(sets[f].begin(), sets[f].end(), sets[e].begin(),
+                          sets[e].end())) {
+          alive[e] = false;
+          --alive_count;
+          result.tree.parent[e] = static_cast<int>(f);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  result.acyclic = alive_count == 1;
+  if (!result.acyclic) return result;
+  for (size_t e = 0; e < m; ++e) {
+    if (alive[e]) result.tree.root = static_cast<int>(e);
+  }
+  for (size_t e = 0; e < m; ++e) {
+    if (result.tree.parent[e] >= 0) {
+      result.tree.children[result.tree.parent[e]].push_back(
+          static_cast<int>(e));
+    }
+  }
+  return result;
+}
+
+bool IsAcyclicQuery(const ConjunctiveQuery& q) {
+  return IsAlphaAcyclic(Hypergraph::FromQuery(q));
+}
+
+bool IsFreeConnex(const ConjunctiveQuery& q) {
+  if (q.arity() <= 1) return true;
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  std::vector<int> head_ids;
+  for (const std::string& v : q.head()) head_ids.push_back(hg.AddVertex(v));
+  hg.AddEdge(head_ids, /*label=*/-2);
+  return IsAlphaAcyclic(hg);
+}
+
+// ---- Beta-acyclicity --------------------------------------------------------
+
+BetaResult BetaAcyclicity(const Hypergraph& hg) {
+  BetaResult result;
+  const size_t m = hg.NumEdges();
+  std::vector<std::set<int>> sets(m);
+  for (size_t e = 0; e < m; ++e) {
+    sets[e].insert(hg.Edge(static_cast<int>(e)).begin(),
+                   hg.Edge(static_cast<int>(e)).end());
+  }
+  std::vector<bool> vertex_alive(hg.NumVertices(), true);
+  size_t vertices_left = hg.NumVertices();
+
+  auto is_nest_point = [&](int v) {
+    // Collect alive edges containing v and check they form a chain.
+    std::vector<const std::set<int>*> containing;
+    for (int e : hg.EdgesOf(v)) {
+      if (sets[e].count(v)) containing.push_back(&sets[e]);
+    }
+    std::sort(containing.begin(), containing.end(),
+              [](const std::set<int>* a, const std::set<int>* b) {
+                return a->size() < b->size();
+              });
+    for (size_t i = 0; i + 1 < containing.size(); ++i) {
+      if (!std::includes(containing[i + 1]->begin(), containing[i + 1]->end(),
+                         containing[i]->begin(), containing[i]->end())) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  bool progress = true;
+  while (vertices_left > 0 && progress) {
+    progress = false;
+    for (size_t v = 0; v < hg.NumVertices(); ++v) {
+      if (!vertex_alive[v]) continue;
+      if (!is_nest_point(static_cast<int>(v))) continue;
+      vertex_alive[v] = false;
+      --vertices_left;
+      result.elimination_order.push_back(static_cast<int>(v));
+      for (int e : hg.EdgesOf(static_cast<int>(v))) {
+        sets[e].erase(static_cast<int>(v));
+      }
+      progress = true;
+    }
+  }
+  result.beta_acyclic = vertices_left == 0;
+  if (!result.beta_acyclic) result.elimination_order.clear();
+  return result;
+}
+
+bool IsBetaAcyclicQuery(const ConjunctiveQuery& q) {
+  return BetaAcyclicity(Hypergraph::FromQuery(q)).beta_acyclic;
+}
+
+}  // namespace fgq

@@ -1,0 +1,138 @@
+#ifndef FGQ_HYPERGRAPH_HYPERGRAPH_H_
+#define FGQ_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "fgq/query/cq.h"
+#include "fgq/util/status.h"
+
+/// \file hypergraph.h
+/// The hypergraph of a query (Section 4): vertices are the query's
+/// variables, hyperedges are its atoms' variable sets. All structural
+/// notions the paper uses — alpha-acyclicity, join trees, free-connexity,
+/// beta-acyclicity, S-components, quantified star size — are computed on
+/// this representation.
+
+namespace fgq {
+
+/// A finite hypergraph with named vertices and labelled edges.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Builds the hypergraph of a query: one vertex per variable, one edge
+  /// per atom (negated atoms included — the NCQ notions use them too).
+  /// Comparison atoms are NOT edges (Definition 4.14).
+  static Hypergraph FromQuery(const ConjunctiveQuery& q);
+
+  /// Adds a vertex; returns its id. Adding an existing name returns the
+  /// existing id.
+  int AddVertex(const std::string& name);
+
+  /// Adds an edge over vertex ids (deduplicated, sorted). `label` is
+  /// caller-defined (atom index for query hypergraphs).
+  int AddEdge(std::vector<int> vertices, int label = -1);
+
+  /// Adds an edge over vertex names, creating vertices as needed.
+  int AddEdgeByNames(const std::vector<std::string>& names, int label = -1);
+
+  size_t NumVertices() const { return vertex_names_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const std::string& VertexName(int v) const { return vertex_names_[v]; }
+  /// Vertex id for a name, or -1.
+  int FindVertex(const std::string& name) const;
+
+  /// Sorted vertex ids of edge e.
+  const std::vector<int>& Edge(int e) const { return edges_[e]; }
+  int EdgeLabel(int e) const { return labels_[e]; }
+
+  /// Ids of edges containing vertex v.
+  const std::vector<int>& EdgesOf(int v) const { return incident_[v]; }
+
+  /// True if edge a's vertex set is a subset of edge b's.
+  bool EdgeSubset(int a, int b) const;
+
+  /// True if u and v share an edge.
+  bool Adjacent(int u, int v) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> vertex_names_;
+  std::vector<std::vector<int>> edges_;      // Sorted vertex ids.
+  std::vector<int> labels_;
+  std::vector<std::vector<int>> incident_;   // vertex -> edge ids.
+};
+
+/// A join tree over a hypergraph's edges (Section 4.1): nodes are edge
+/// ids; for every vertex, the tree nodes whose edge contains it form a
+/// connected subtree.
+struct JoinTree {
+  int root = -1;
+  /// parent[e] is the parent edge id of e, or -1 for the root and for
+  /// edges not in the tree.
+  std::vector<int> parent;
+  /// children[e] lists e's children.
+  std::vector<std::vector<int>> children;
+
+  /// Nodes in a top-down (parent before child) order.
+  std::vector<int> TopDownOrder() const;
+  /// Nodes bottom-up (children before parents).
+  std::vector<int> BottomUpOrder() const;
+
+  /// Verifies the join-tree property ("running intersection") against hg.
+  bool IsValid(const Hypergraph& hg) const;
+
+  /// Re-roots the tree at `new_root` (must be a tree node).
+  void ReRoot(int new_root);
+
+  std::string ToString(const Hypergraph& hg) const;
+};
+
+/// Result of the GYO reduction.
+struct GyoResult {
+  bool acyclic = false;
+  /// Valid join tree when acyclic.
+  JoinTree tree;
+};
+
+/// Runs the GYO ear-removal algorithm: alternately deletes vertices that
+/// occur in a single edge and edges contained in another edge (recording
+/// the containment as a tree attachment). The hypergraph is alpha-acyclic
+/// iff the reduction consumes every edge, in which case the recorded
+/// attachments form a join tree (Theorem: Beeri-Fagin-Maier-Yannakakis).
+GyoResult GyoReduce(const Hypergraph& hg);
+
+/// True iff the hypergraph is alpha-acyclic.
+inline bool IsAlphaAcyclic(const Hypergraph& hg) {
+  return GyoReduce(hg).acyclic;
+}
+
+/// True iff the query's hypergraph is alpha-acyclic (the paper's "ACQ").
+bool IsAcyclicQuery(const ConjunctiveQuery& q);
+
+/// True iff the query is free-connex (Definition 4.4): its hypergraph,
+/// extended with one edge covering exactly the free variables, is still
+/// alpha-acyclic. Boolean and unary queries are trivially free-connex.
+bool IsFreeConnex(const ConjunctiveQuery& q);
+
+/// Beta-acyclicity (Definition 4.29) decided by nest-point elimination
+/// [38]: a vertex is a nest point when the edges containing it form a
+/// chain under inclusion; a hypergraph is beta-acyclic iff repeatedly
+/// removing nest points (and then empty/duplicate edges) empties it.
+/// On success `elimination_order` lists vertex ids in removal order —
+/// the order that drives the NCQ Davis-Putnam algorithm (Theorem 4.31).
+struct BetaResult {
+  bool beta_acyclic = false;
+  std::vector<int> elimination_order;
+};
+BetaResult BetaAcyclicity(const Hypergraph& hg);
+
+/// True iff the query's hypergraph is beta-acyclic.
+bool IsBetaAcyclicQuery(const ConjunctiveQuery& q);
+
+}  // namespace fgq
+
+#endif  // FGQ_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,159 @@
+#include "fgq/hypergraph/star_size.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace fgq {
+
+namespace {
+
+/// Tiny union-find used for S-component discovery.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<SComponent> DecomposeSComponents(const Hypergraph& hg,
+                                             const std::vector<int>& s) {
+  std::set<int> s_set(s.begin(), s.end());
+  UnionFind uf(hg.NumVertices());
+
+  // Connect the non-S vertices within every edge: inside one edge they are
+  // pairwise path-connected in H[V - S].
+  for (size_t e = 0; e < hg.NumEdges(); ++e) {
+    int first = -1;
+    for (int v : hg.Edge(static_cast<int>(e))) {
+      if (s_set.count(v)) continue;
+      if (first < 0) {
+        first = v;
+      } else {
+        uf.Union(first, v);
+      }
+    }
+  }
+
+  // Group edges by the component of their non-S part.
+  std::map<int, SComponent> by_root;
+  for (size_t e = 0; e < hg.NumEdges(); ++e) {
+    int rep = -1;
+    for (int v : hg.Edge(static_cast<int>(e))) {
+      if (!s_set.count(v)) {
+        rep = uf.Find(v);
+        break;
+      }
+    }
+    if (rep < 0) continue;  // Edge fully inside S: no component.
+    by_root[rep].edges.push_back(static_cast<int>(e));
+  }
+
+  std::vector<SComponent> out;
+  for (auto& [root, comp] : by_root) {
+    std::set<int> verts;
+    for (int e : comp.edges) {
+      verts.insert(hg.Edge(e).begin(), hg.Edge(e).end());
+    }
+    comp.vertices.assign(verts.begin(), verts.end());
+    for (int v : comp.vertices) {
+      if (s_set.count(v)) comp.s_vertices.push_back(v);
+    }
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+namespace {
+
+// Branch-and-bound maximum independent set on the conflict graph induced
+// by `edges` over `vertices`.
+size_t MisRecurse(const std::vector<std::vector<bool>>& conflict,
+                  std::vector<int>& order, size_t idx,
+                  std::vector<int>& chosen) {
+  if (idx == order.size()) return chosen.size();
+  int v = order[idx];
+  // Branch 1: skip v.
+  size_t best = MisRecurse(conflict, order, idx + 1, chosen);
+  // Branch 2: take v if compatible.
+  bool compatible = true;
+  for (int c : chosen) {
+    if (conflict[v][c]) {
+      compatible = false;
+      break;
+    }
+  }
+  if (compatible) {
+    chosen.push_back(v);
+    best = std::max(best, MisRecurse(conflict, order, idx + 1, chosen));
+    chosen.pop_back();
+  }
+  return best;
+}
+
+}  // namespace
+
+size_t MaxIndependentSetSize(const Hypergraph& hg,
+                             const std::vector<int>& vertices,
+                             const std::vector<int>& edges) {
+  if (vertices.empty()) return 0;
+  // Map vertices to local ids.
+  std::map<int, int> local;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    local[vertices[i]] = static_cast<int>(i);
+  }
+  std::vector<std::vector<bool>> conflict(
+      vertices.size(), std::vector<bool>(vertices.size(), false));
+  for (int e : edges) {
+    const std::vector<int>& vs = hg.Edge(e);
+    for (size_t i = 0; i < vs.size(); ++i) {
+      auto it_i = local.find(vs[i]);
+      if (it_i == local.end()) continue;
+      for (size_t j = i + 1; j < vs.size(); ++j) {
+        auto it_j = local.find(vs[j]);
+        if (it_j == local.end()) continue;
+        conflict[it_i->second][it_j->second] = true;
+        conflict[it_j->second][it_i->second] = true;
+      }
+    }
+  }
+  std::vector<int> order(vertices.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> chosen;
+  return MisRecurse(conflict, order, 0, chosen);
+}
+
+size_t StarSize(const Hypergraph& hg, const std::vector<int>& s) {
+  size_t best = 1;
+  for (const SComponent& comp : DecomposeSComponents(hg, s)) {
+    best = std::max(
+        best, MaxIndependentSetSize(hg, comp.s_vertices, comp.edges));
+  }
+  return best;
+}
+
+size_t QuantifiedStarSize(const ConjunctiveQuery& q) {
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  std::vector<int> s;
+  for (const std::string& v : q.head()) {
+    int id = hg.FindVertex(v);
+    if (id >= 0) s.push_back(id);
+  }
+  return StarSize(hg, s);
+}
+
+}  // namespace fgq

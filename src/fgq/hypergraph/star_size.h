@@ -1,0 +1,53 @@
+#ifndef FGQ_HYPERGRAPH_STAR_SIZE_H_
+#define FGQ_HYPERGRAPH_STAR_SIZE_H_
+
+#include <vector>
+
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/query/cq.h"
+
+/// \file star_size.h
+/// S-components and quantified star size (Section 4.4, [34]).
+///
+/// Given a hypergraph H = (V, E) and a set S of vertices (the query's free
+/// variables), the S-component of an edge e not contained in S groups all
+/// edges whose non-S parts are connected in H[V - S] (Definition 4.23).
+/// The S-star size is the maximum size of an independent set of
+/// S-vertices inside a single S-component (Definition 4.25); the
+/// quantified star size of an acyclic query is the S-star size of its
+/// hypergraph with S = free variables (Definition 4.26). Star size 1
+/// coincides with free-connexity, and Theorem 4.28 gives a counting
+/// algorithm running in (||D|| + ||phi||)^O(star size).
+
+namespace fgq {
+
+/// One S-component: the edge ids it contains, all its vertices, and the
+/// subset of its vertices lying in S.
+struct SComponent {
+  std::vector<int> edges;
+  std::vector<int> vertices;
+  std::vector<int> s_vertices;
+};
+
+/// Decomposes the hypergraph into S-components (Definition 4.23). Edges
+/// fully contained in S belong to no component.
+std::vector<SComponent> DecomposeSComponents(const Hypergraph& hg,
+                                             const std::vector<int>& s);
+
+/// Maximum independent set size among `vertices`, where two vertices are
+/// dependent when some edge in `edges` contains both. Exact
+/// branch-and-bound; intended for query-sized inputs.
+size_t MaxIndependentSetSize(const Hypergraph& hg,
+                             const std::vector<int>& vertices,
+                             const std::vector<int>& edges);
+
+/// The S-star size of hg (Definition 4.25); at least 1 by convention so
+/// that star size 1 <=> free-connex also covers quantifier-free queries.
+size_t StarSize(const Hypergraph& hg, const std::vector<int>& s);
+
+/// The quantified star size of a query (Definition 4.26).
+size_t QuantifiedStarSize(const ConjunctiveQuery& q);
+
+}  // namespace fgq
+
+#endif  // FGQ_HYPERGRAPH_STAR_SIZE_H_

@@ -1,0 +1,228 @@
+#include "fgq/mso/courcelle.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fgq {
+
+Result<BigInt> CountBagStateAssignments(
+    const Graph& g, const TreeDecomposition& td, int q,
+    const std::function<bool(const std::vector<int>& bag,
+                             const std::vector<int>& state)>& valid) {
+  FGQ_RETURN_NOT_OK(td.Validate(g));
+  using StateMap = std::map<std::vector<int>, BigInt>;
+  std::vector<StateMap> dp(td.NumBags());
+
+  std::vector<int> order = td.TopDownOrder();
+  // Bottom-up over the rooted decomposition.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int b = *it;
+    const std::vector<int>& bag = td.bags[static_cast<size_t>(b)];
+    // Shared positions with each child (child bag position, my position).
+    struct Shared {
+      int child;
+      std::vector<std::pair<size_t, size_t>> pairs;  // (child pos, my pos)
+    };
+    std::vector<Shared> shared;
+    for (int c : td.children[static_cast<size_t>(b)]) {
+      Shared s;
+      s.child = c;
+      const std::vector<int>& cbag = td.bags[static_cast<size_t>(c)];
+      for (size_t i = 0; i < cbag.size(); ++i) {
+        auto pos = std::lower_bound(bag.begin(), bag.end(), cbag[i]);
+        if (pos != bag.end() && *pos == cbag[i]) {
+          s.pairs.push_back({i, static_cast<size_t>(pos - bag.begin())});
+        }
+      }
+      shared.push_back(std::move(s));
+    }
+    // Enumerate bag states by odometer.
+    std::vector<int> state(bag.size(), 0);
+    StateMap& mine = dp[static_cast<size_t>(b)];
+    while (true) {
+      if (valid(bag, state)) {
+        BigInt total(1);
+        bool dead = false;
+        for (const Shared& s : shared) {
+          BigInt child_sum(0);
+          for (const auto& [cstate, cnt] :
+               dp[static_cast<size_t>(s.child)]) {
+            bool match = true;
+            for (const auto& [cp, mp] : s.pairs) {
+              if (cstate[cp] != state[mp]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) child_sum += cnt;
+          }
+          if (child_sum.is_zero()) {
+            dead = true;
+            break;
+          }
+          total *= child_sum;
+        }
+        if (!dead) mine[state] = total;
+      }
+      // Advance the odometer.
+      size_t p = 0;
+      while (p < state.size() && ++state[p] == q) {
+        state[p] = 0;
+        ++p;
+      }
+      if (p == state.size() || bag.empty()) break;
+    }
+    // Children counted vertices in (child bag minus my bag) plus deeper;
+    // vertices shared with me were counted by both sides' states but the
+    // child's dp is keyed on them, so the sum-over-matching avoids double
+    // counting. However, a child-bag vertex absent from my bag is summed
+    // inside child_sum — correct. A vertex present in both is pinned —
+    // correct.
+    (void)0;
+  }
+  // Total: sum over root states. Each global assignment contributes to
+  // exactly one root state, and any vertex outside every bag is impossible
+  // (Validate guarantees coverage).
+  BigInt total(0);
+  for (const auto& [state, cnt] : dp[static_cast<size_t>(td.root)]) {
+    total += cnt;
+  }
+  return total;
+}
+
+namespace {
+
+/// Validity plugin: proper coloring inside the bag.
+bool ProperInBag(const Graph& g, const std::vector<int>& bag,
+                 const std::vector<int>& state) {
+  for (size_t i = 0; i < bag.size(); ++i) {
+    for (size_t j = i + 1; j < bag.size(); ++j) {
+      if (state[i] == state[j] && g.HasEdge(bag[i], bag[j])) return false;
+    }
+  }
+  return true;
+}
+
+/// Validity plugin: independent set inside the bag (state 1 = in).
+bool IndependentInBag(const Graph& g, const std::vector<int>& bag,
+                      const std::vector<int>& state) {
+  for (size_t i = 0; i < bag.size(); ++i) {
+    for (size_t j = i + 1; j < bag.size(); ++j) {
+      if (state[i] == 1 && state[j] == 1 && g.HasEdge(bag[i], bag[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> IsQColorable(const Graph& g, const TreeDecomposition& td,
+                          int q) {
+  FGQ_ASSIGN_OR_RETURN(BigInt count, CountProperColorings(g, td, q));
+  return !count.is_zero();
+}
+
+Result<BigInt> CountProperColorings(const Graph& g,
+                                    const TreeDecomposition& td, int q) {
+  return CountBagStateAssignments(
+      g, td, q,
+      [&g](const std::vector<int>& bag, const std::vector<int>& state) {
+        return ProperInBag(g, bag, state);
+      });
+}
+
+Result<BigInt> CountIndependentSets(const Graph& g,
+                                    const TreeDecomposition& td) {
+  return CountBagStateAssignments(
+      g, td, 2,
+      [&g](const std::vector<int>& bag, const std::vector<int>& state) {
+        return IndependentInBag(g, bag, state);
+      });
+}
+
+Result<BigInt> CountVertexCovers(const Graph& g,
+                                 const TreeDecomposition& td) {
+  // Complementation is a bijection between vertex covers and independent
+  // sets.
+  return CountIndependentSets(g, td);
+}
+
+BigInt CountIndependentSetsBrute(const Graph& g) {
+  BigInt count(0);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << g.n); ++mask) {
+    bool ok = true;
+    for (const auto& [u, v] : g.edges) {
+      if ((mask >> u & 1) && (mask >> v & 1)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) count += BigInt(1);
+  }
+  return count;
+}
+
+BigInt CountProperColoringsBrute(const Graph& g, int q) {
+  BigInt count(0);
+  std::vector<int> color(static_cast<size_t>(g.n), 0);
+  while (true) {
+    bool ok = true;
+    for (const auto& [u, v] : g.edges) {
+      if (color[static_cast<size_t>(u)] == color[static_cast<size_t>(v)]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) count += BigInt(1);
+    size_t p = 0;
+    while (p < color.size() && ++color[p] == q) {
+      color[p] = 0;
+      ++p;
+    }
+    if (p == color.size() || g.n == 0) break;
+  }
+  return count;
+}
+
+IndependentSetEnumerator::IndependentSetEnumerator(const Graph& g)
+    : g_(g), choice_(static_cast<size_t>(g.n), 0) {}
+
+bool IndependentSetEnumerator::CanTake(int v) const {
+  for (int u : g_.adj[static_cast<size_t>(v)]) {
+    if (u < v && choice_[static_cast<size_t>(u)] == 1) return false;
+  }
+  return true;
+}
+
+bool IndependentSetEnumerator::Next(std::vector<bool>* out) {
+  if (done_) return false;
+  if (!primed_) {
+    primed_ = true;  // First solution: the empty set (all out).
+  } else {
+    // Binary-counter increment where position v only admits 1 when
+    // CanTake(v); positions after the increment point reset to 0.
+    int v = g_.n - 1;
+    while (v >= 0) {
+      if (choice_[static_cast<size_t>(v)] == 0 && CanTake(v)) {
+        choice_[static_cast<size_t>(v)] = 1;
+        for (size_t w = static_cast<size_t>(v) + 1; w < choice_.size(); ++w) {
+          choice_[w] = 0;
+        }
+        break;
+      }
+      choice_[static_cast<size_t>(v)] = 0;
+      --v;
+    }
+    if (v < 0) {
+      done_ = true;
+      return false;
+    }
+  }
+  out->assign(choice_.size(), false);
+  for (size_t i = 0; i < choice_.size(); ++i) (*out)[i] = choice_[i] == 1;
+  return true;
+}
+
+}  // namespace fgq

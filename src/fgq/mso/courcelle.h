@@ -1,0 +1,87 @@
+#ifndef FGQ_MSO_COURCELLE_H_
+#define FGQ_MSO_COURCELLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fgq/mso/tree_decomposition.h"
+#include "fgq/util/bigint.h"
+#include "fgq/util/status.h"
+
+/// \file courcelle.h
+/// Courcelle-style dynamic programming over tree decompositions
+/// (Theorems 3.11/3.12, [27], [6], [8, 29]).
+///
+/// Courcelle's theorem compiles a fixed MSO sentence into a tree
+/// automaton; per fixed query, running that automaton is a dynamic program
+/// whose state space depends only on the query and the width. We implement
+/// the dynamic program directly for a catalog of MSO-definable properties
+/// (the compilation step is query-sized and data-independent, so the
+/// data-complexity claims — linear-time model checking and counting, and
+/// output-linear-delay enumeration — are preserved; see DESIGN.md):
+///
+/// * q-colorability:        exists C_1..C_q partitioning V with no
+///                          monochromatic edge  (MSO_1 sentence)
+/// * #independent sets:     counting the sets X with
+///                          forall x forall y (E(x,y) -> ~(X(x) /\ X(y)))
+/// * independent-set enum:  enumerating those X, delay O(|V|) = O(|s|)
+///                          per solution (Theorem 3.12's delay measure is
+///                          linear in the output size).
+
+namespace fgq {
+
+/// Generic bag-state DP: each vertex takes a state in [0, q); `valid`
+/// receives a bag (sorted vertex list) and the state of each bag vertex
+/// and must accept iff the induced constraints hold. Returns the number of
+/// global state assignments accepted in every bag. Cost
+/// O(#bags * q^(width+1) * width^2).
+Result<BigInt> CountBagStateAssignments(
+    const Graph& g, const TreeDecomposition& td, int q,
+    const std::function<bool(const std::vector<int>& bag,
+                             const std::vector<int>& state)>& valid);
+
+/// MSO model checking: is g properly q-colorable? Linear in |g| for fixed
+/// q and width (Theorem 3.11's shape).
+Result<bool> IsQColorable(const Graph& g, const TreeDecomposition& td, int q);
+
+/// MSO counting: number of proper q-colorings.
+Result<BigInt> CountProperColorings(const Graph& g,
+                                    const TreeDecomposition& td, int q);
+
+/// MSO counting: number of independent sets (including the empty set).
+Result<BigInt> CountIndependentSets(const Graph& g,
+                                    const TreeDecomposition& td);
+
+/// MSO counting: number of vertex covers. (X is a vertex cover iff its
+/// complement is independent, so this shares the independent-set DP.)
+Result<BigInt> CountVertexCovers(const Graph& g, const TreeDecomposition& td);
+
+/// Brute-force references for property tests (2^n; n <= 24).
+BigInt CountIndependentSetsBrute(const Graph& g);
+BigInt CountProperColoringsBrute(const Graph& g, int q);
+
+/// Enumerates all independent sets of g as characteristic vectors, with
+/// delay O(|V|) per solution — linear in the output size, the right
+/// measure for MSO queries with free set variables (Theorem 3.12).
+/// Backtracking over vertices never dead-ends ("all out" always extends).
+class IndependentSetEnumerator {
+ public:
+  explicit IndependentSetEnumerator(const Graph& g);
+
+  /// Fills `out` with the next independent set; false when exhausted.
+  bool Next(std::vector<bool>* out);
+
+ private:
+  const Graph& g_;
+  std::vector<int> choice_;  // -1 undecided, 0 out, 1 in.
+  int depth_ = 0;
+  bool done_ = false;
+  bool primed_ = false;
+
+  bool CanTake(int v) const;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_MSO_COURCELLE_H_

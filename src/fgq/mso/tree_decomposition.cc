@@ -1,0 +1,186 @@
+#include "fgq/mso/tree_decomposition.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fgq {
+
+void Graph::AddEdge(int u, int v) {
+  if (u == v) return;
+  if (HasEdge(u, v)) return;
+  edges.push_back({u, v});
+  adj[static_cast<size_t>(u)].push_back(v);
+  adj[static_cast<size_t>(v)].push_back(u);
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  const std::vector<int>& a = adj[static_cast<size_t>(u)];
+  return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+size_t TreeDecomposition::Width() const {
+  size_t w = 1;
+  for (const std::vector<int>& bag : bags) w = std::max(w, bag.size());
+  return w - 1;
+}
+
+std::vector<int> TreeDecomposition::TopDownOrder() const {
+  std::vector<int> order;
+  if (root < 0) return order;
+  order.push_back(root);
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int c : children[order[i]]) order.push_back(c);
+  }
+  return order;
+}
+
+Status TreeDecomposition::Validate(const Graph& g) const {
+  // Per-vertex lists of bags containing it (sorted by bag id), so every
+  // check below is linear in the total bag content rather than
+  // #bags * #vertices.
+  std::vector<std::vector<int>> bags_of(static_cast<size_t>(g.n));
+  for (size_t b = 0; b < bags.size(); ++b) {
+    for (int v : bags[b]) {
+      if (v < 0 || v >= g.n) {
+        return Status::Internal("bag contains unknown vertex");
+      }
+      bags_of[static_cast<size_t>(v)].push_back(static_cast<int>(b));
+    }
+  }
+  for (int v = 0; v < g.n; ++v) {
+    if (bags_of[static_cast<size_t>(v)].empty()) {
+      return Status::Internal("vertex " + std::to_string(v) + " not covered");
+    }
+  }
+  for (const auto& [u, v] : g.edges) {
+    const std::vector<int>& bu = bags_of[static_cast<size_t>(u)];
+    const std::vector<int>& bv = bags_of[static_cast<size_t>(v)];
+    bool ok = false;
+    size_t i = 0, j = 0;
+    while (i < bu.size() && j < bv.size()) {
+      if (bu[i] == bv[j]) {
+        ok = true;
+        break;
+      }
+      if (bu[i] < bv[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (!ok) {
+      return Status::Internal("edge (" + std::to_string(u) + "," +
+                              std::to_string(v) + ") not covered");
+    }
+  }
+  // Connectivity: for each vertex, the bags containing it must form a
+  // connected subtree — exactly one of them has a parent without v.
+  for (int v = 0; v < g.n; ++v) {
+    int component_roots = 0;
+    for (int b : bags_of[static_cast<size_t>(v)]) {
+      int p = parent[static_cast<size_t>(b)];
+      bool parent_has =
+          p >= 0 && std::binary_search(bags[static_cast<size_t>(p)].begin(),
+                                       bags[static_cast<size_t>(p)].end(), v);
+      if (!parent_has) ++component_roots;
+    }
+    if (component_roots > 1) {
+      return Status::Internal("vertex " + std::to_string(v) +
+                              " bags are disconnected");
+    }
+  }
+  return Status::OK();
+}
+
+TreeDecomposition DecomposeMinDegree(const Graph& g) {
+  TreeDecomposition td;
+  const size_t n = static_cast<size_t>(g.n);
+  if (n == 0) {
+    td.bags.push_back({});
+    td.parent = {-1};
+    td.children = {{}};
+    td.root = 0;
+    return td;
+  }
+  // Working fill graph as neighbor sets.
+  std::vector<std::set<int>> nb(n);
+  for (const auto& [u, v] : g.edges) {
+    nb[static_cast<size_t>(u)].insert(v);
+    nb[static_cast<size_t>(v)].insert(u);
+  }
+  std::vector<bool> eliminated(n, false);
+  std::vector<int> elim_pos(n, -1);
+  std::vector<int> bag_of(n, -1);  // Bag index created when eliminating v.
+
+  td.bags.reserve(n);
+  std::vector<std::vector<int>> elim_neighbors(n);
+  std::vector<int> elim_order;
+  for (size_t step = 0; step < n; ++step) {
+    // Min fill-degree vertex.
+    int best = -1;
+    size_t best_deg = SIZE_MAX;
+    for (size_t v = 0; v < n; ++v) {
+      if (!eliminated[v] && nb[v].size() < best_deg) {
+        best = static_cast<int>(v);
+        best_deg = nb[v].size();
+      }
+    }
+    size_t bv = static_cast<size_t>(best);
+    std::vector<int> bag(nb[bv].begin(), nb[bv].end());
+    elim_neighbors[bv] = bag;
+    bag.push_back(best);
+    std::sort(bag.begin(), bag.end());
+    bag_of[bv] = static_cast<int>(td.bags.size());
+    td.bags.push_back(bag);
+    elim_pos[bv] = static_cast<int>(step);
+    elim_order.push_back(best);
+    eliminated[bv] = true;
+    // Fill: connect remaining neighbors pairwise, remove v.
+    std::vector<int> rest(nb[bv].begin(), nb[bv].end());
+    for (int u : rest) nb[static_cast<size_t>(u)].erase(best);
+    for (size_t i = 0; i < rest.size(); ++i) {
+      for (size_t j = i + 1; j < rest.size(); ++j) {
+        nb[static_cast<size_t>(rest[i])].insert(rest[j]);
+        nb[static_cast<size_t>(rest[j])].insert(rest[i]);
+      }
+    }
+  }
+  // Tree structure: the parent of v's bag is the bag of v's earliest-
+  // eliminated remaining neighbor; isolated bags chain to the last bag.
+  td.parent.assign(n, -1);
+  td.children.assign(n, {});
+  int prev_root = -1;
+  for (size_t v = 0; v < n; ++v) {
+    int p_vertex = -1;
+    int p_pos = INT32_MAX;
+    for (int u : elim_neighbors[v]) {
+      if (elim_pos[static_cast<size_t>(u)] < p_pos) {
+        p_pos = elim_pos[static_cast<size_t>(u)];
+        p_vertex = u;
+      }
+    }
+    if (p_vertex >= 0) {
+      td.parent[static_cast<size_t>(bag_of[v])] =
+          bag_of[static_cast<size_t>(p_vertex)];
+    }
+  }
+  // Link multiple roots into one tree (disconnected graphs).
+  for (size_t b = 0; b < td.bags.size(); ++b) {
+    if (td.parent[b] == -1) {
+      if (prev_root >= 0) {
+        td.parent[static_cast<size_t>(prev_root)] = static_cast<int>(b);
+      }
+      prev_root = static_cast<int>(b);
+    }
+  }
+  td.root = prev_root;
+  for (size_t b = 0; b < td.bags.size(); ++b) {
+    if (td.parent[b] >= 0) {
+      td.children[static_cast<size_t>(td.parent[b])].push_back(
+          static_cast<int>(b));
+    }
+  }
+  return td;
+}
+
+}  // namespace fgq

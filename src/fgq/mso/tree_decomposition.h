@@ -1,0 +1,58 @@
+#ifndef FGQ_MSO_TREE_DECOMPOSITION_H_
+#define FGQ_MSO_TREE_DECOMPOSITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "fgq/util/status.h"
+
+/// \file tree_decomposition.h
+/// Undirected graphs and tree decompositions (Section 3.3).
+///
+/// Courcelle's theorem (Theorem 3.11) runs dynamic programs over a tree
+/// decomposition; this module provides the graph type, an exact
+/// decomposition for forests (width 1), and the min-degree elimination
+/// heuristic for general graphs (exact on chordal graphs, near-optimal on
+/// the partial k-trees our benchmarks generate).
+
+namespace fgq {
+
+/// A simple undirected graph on vertices [0, n).
+struct Graph {
+  explicit Graph(int n = 0) : n(n), adj(static_cast<size_t>(n)) {}
+
+  int n = 0;
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::vector<int>> adj;
+
+  void AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const;
+};
+
+/// A rooted tree decomposition: bags of vertices plus a tree over bags.
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;  // Each sorted.
+  std::vector<int> parent;             // -1 for the root.
+  std::vector<std::vector<int>> children;
+  int root = -1;
+
+  size_t NumBags() const { return bags.size(); }
+
+  /// Width = max bag size - 1.
+  size_t Width() const;
+
+  /// Checks the three tree-decomposition conditions against g:
+  /// vertex coverage, edge coverage, and bag connectivity per vertex.
+  Status Validate(const Graph& g) const;
+
+  /// Bags in parent-before-child order.
+  std::vector<int> TopDownOrder() const;
+};
+
+/// Min-degree elimination-order decomposition. Width 1 on forests; on
+/// general graphs a heuristic upper bound.
+TreeDecomposition DecomposeMinDegree(const Graph& g);
+
+}  // namespace fgq
+
+#endif  // FGQ_MSO_TREE_DECOMPOSITION_H_

@@ -1,0 +1,168 @@
+#include "fgq/query/cq.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace fgq {
+
+std::vector<std::string> Atom::Variables() const {
+  std::vector<std::string> out;
+  for (const Term& t : args) {
+    if (t.is_var() && std::find(out.begin(), out.end(), t.var) == out.end()) {
+      out.push_back(t.var);
+    }
+  }
+  return out;
+}
+
+std::string Atom::ToString() const {
+  std::string s;
+  if (negated) s += "not ";
+  s += relation + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) s += ", ";
+    s += args[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+std::string Comparison::ToString() const {
+  const char* ops = op == Op::kLess ? " < " : op == Op::kLessEq ? " <= " : " != ";
+  return lhs + ops + rhs;
+}
+
+std::vector<std::string> ConjunctiveQuery::Variables() const {
+  std::vector<std::string> out;
+  auto add = [&out](const std::string& v) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  };
+  for (const std::string& v : head_) add(v);
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) add(t.var);
+    }
+  }
+  for (const Comparison& c : comparisons_) {
+    add(c.lhs);
+    add(c.rhs);
+  }
+  return out;
+}
+
+std::vector<std::string> ConjunctiveQuery::ExistentialVariables() const {
+  std::vector<std::string> out;
+  for (const std::string& v : Variables()) {
+    if (std::find(head_.begin(), head_.end(), v) == head_.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  std::set<std::string> atom_vars;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) atom_vars.insert(t.var);
+    }
+  }
+  std::set<std::string> head_seen;
+  for (const std::string& v : head_) {
+    if (!head_seen.insert(v).second) {
+      return Status::InvalidArgument("duplicate head variable '" + v + "'");
+    }
+    if (atom_vars.count(v) == 0) {
+      return Status::InvalidArgument("head variable '" + v +
+                                     "' does not occur in any atom");
+    }
+  }
+  for (const Comparison& c : comparisons_) {
+    for (const std::string& v : {c.lhs, c.rhs}) {
+      if (atom_vars.count(v) == 0) {
+        return Status::InvalidArgument("comparison variable '" + v +
+                                       "' does not occur in any atom");
+      }
+    }
+  }
+  if (atoms_.empty()) {
+    return Status::InvalidArgument("query has no atoms");
+  }
+  return Status::OK();
+}
+
+bool ConjunctiveQuery::IsSelfJoinFree() const {
+  std::set<std::string> seen;
+  for (const Atom& a : atoms_) {
+    if (a.negated) continue;
+    if (!seen.insert(a.relation).second) return false;
+  }
+  return true;
+}
+
+bool ConjunctiveQuery::HasNegation() const {
+  return std::any_of(atoms_.begin(), atoms_.end(),
+                     [](const Atom& a) { return a.negated; });
+}
+
+bool ConjunctiveQuery::IsNegative() const {
+  return !atoms_.empty() &&
+         std::all_of(atoms_.begin(), atoms_.end(),
+                     [](const Atom& a) { return a.negated; });
+}
+
+size_t ConjunctiveQuery::SizeWeight() const {
+  size_t s = head_.size();
+  for (const Atom& a : atoms_) s += 1 + a.args.size();
+  s += 3 * comparisons_.size();
+  return s;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream os;
+  os << name_ << "(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i) os << ", ";
+    os << head_[i];
+  }
+  os << ") :- ";
+  bool first = true;
+  for (const Atom& a : atoms_) {
+    if (!first) os << ", ";
+    first = false;
+    os << a.ToString();
+  }
+  for (const Comparison& c : comparisons_) {
+    if (!first) os << ", ";
+    first = false;
+    os << c.ToString();
+  }
+  os << ".";
+  return os.str();
+}
+
+Status UnionQuery::Validate() const {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("union query has no disjuncts");
+  }
+  for (const ConjunctiveQuery& q : disjuncts) {
+    FGQ_RETURN_NOT_OK(q.Validate());
+    if (q.arity() != arity()) {
+      return Status::InvalidArgument(
+          "union disjuncts disagree on arity: " + q.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::string UnionQuery::ToString() const {
+  std::string s;
+  for (const ConjunctiveQuery& q : disjuncts) {
+    if (!s.empty()) s += "\n";
+    s += q.ToString();
+  }
+  return s;
+}
+
+}  // namespace fgq

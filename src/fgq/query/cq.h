@@ -1,0 +1,100 @@
+#ifndef FGQ_QUERY_CQ_H_
+#define FGQ_QUERY_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "fgq/query/term.h"
+#include "fgq/util/status.h"
+
+/// \file cq.h
+/// Conjunctive queries (Section 4):
+///
+///   phi(x) := exists y  /\_i  [not] R_i(z_i)  /\_j  u_j <op> v_j
+///
+/// The free variables x are the head, in output order; all other variables
+/// are existentially quantified. Plain CQs have no negated atoms and no
+/// comparisons; the NCQ fragment (Section 4.5) has only negated atoms; the
+/// ACQ_< / ACQ_!= fragments (Section 4.3) add comparison atoms.
+
+namespace fgq {
+
+/// A conjunctive query with optional negated atoms and comparisons.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::string name, std::vector<std::string> head,
+                   std::vector<Atom> atoms,
+                   std::vector<Comparison> comparisons = {})
+      : name_(std::move(name)),
+        head_(std::move(head)),
+        atoms_(std::move(atoms)),
+        comparisons_(std::move(comparisons)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& head() const { return head_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+
+  std::vector<Atom>* mutable_atoms() { return &atoms_; }
+  std::vector<Comparison>* mutable_comparisons() { return &comparisons_; }
+  void set_head(std::vector<std::string> head) { head_ = std::move(head); }
+  void set_name(std::string name) { name_ = std::move(name); }
+  void AddAtom(Atom a) { atoms_.push_back(std::move(a)); }
+  void AddComparison(Comparison c) { comparisons_.push_back(std::move(c)); }
+
+  /// Arity of the query = number of free variables.
+  size_t arity() const { return head_.size(); }
+  bool IsBoolean() const { return head_.empty(); }
+
+  /// All distinct variables, in first-occurrence order (head first).
+  std::vector<std::string> Variables() const;
+
+  /// Variables that are existentially quantified (not in the head).
+  std::vector<std::string> ExistentialVariables() const;
+
+  /// True if every variable in the head and in comparisons occurs in some
+  /// atom, and every head entry is distinct (a well-formed range-restricted
+  /// query).
+  Status Validate() const;
+
+  /// True if no relation symbol occurs twice among positive atoms
+  /// (the self-join-freeness hypothesis of Theorems 4.8/4.9).
+  bool IsSelfJoinFree() const;
+
+  /// True if some atom is negated.
+  bool HasNegation() const;
+
+  /// True if all atoms are negated (the NCQ fragment).
+  bool IsNegative() const;
+
+  /// ||phi|| in the paper's size measure: total number of symbols.
+  size_t SizeWeight() const;
+
+  /// Renders `Q(x, y) :- R(x, z), S(z, y), x != y.`
+  std::string ToString() const;
+
+ private:
+  std::string name_ = "Q";
+  std::vector<std::string> head_;
+  std::vector<Atom> atoms_;
+  std::vector<Comparison> comparisons_;
+};
+
+/// A union of conjunctive queries (Section 4.2). All disjuncts must share
+/// the same head arity; head variable *names* may differ per disjunct
+/// (answers are positional).
+struct UnionQuery {
+  std::string name = "Q";
+  std::vector<ConjunctiveQuery> disjuncts;
+
+  size_t arity() const {
+    return disjuncts.empty() ? 0 : disjuncts[0].arity();
+  }
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_QUERY_CQ_H_

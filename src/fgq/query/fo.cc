@@ -1,0 +1,227 @@
+#include "fgq/query/fo.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fgq {
+
+namespace {
+
+void AddUnique(std::vector<std::string>* out, const std::string& v) {
+  if (std::find(out->begin(), out->end(), v) == out->end()) out->push_back(v);
+}
+
+}  // namespace
+
+FoPtr FoFormula::MakeAtom(std::string relation, std::vector<Term> args,
+                          bool so_var) {
+  FoPtr f(new FoFormula());
+  f->kind_ = Kind::kAtom;
+  f->relation_ = std::move(relation);
+  f->args_ = std::move(args);
+  f->so_var_ = so_var;
+  return f;
+}
+
+FoPtr FoFormula::MakeEquals(Term a, Term b) {
+  FoPtr f(new FoFormula());
+  f->kind_ = Kind::kEquals;
+  f->args_ = {std::move(a), std::move(b)};
+  return f;
+}
+
+FoPtr FoFormula::MakeLess(Term a, Term b) {
+  FoPtr f(new FoFormula());
+  f->kind_ = Kind::kLess;
+  f->args_ = {std::move(a), std::move(b)};
+  return f;
+}
+
+FoPtr FoFormula::MakeTrue() {
+  return FoPtr(new FoFormula());
+}
+
+FoPtr FoFormula::MakeNot(FoPtr child) {
+  FoPtr f(new FoFormula());
+  f->kind_ = Kind::kNot;
+  f->children_.push_back(std::move(child));
+  return f;
+}
+
+FoPtr FoFormula::MakeAnd(std::vector<FoPtr> children) {
+  FoPtr f(new FoFormula());
+  f->kind_ = Kind::kAnd;
+  f->children_ = std::move(children);
+  return f;
+}
+
+FoPtr FoFormula::MakeOr(std::vector<FoPtr> children) {
+  FoPtr f(new FoFormula());
+  f->kind_ = Kind::kOr;
+  f->children_ = std::move(children);
+  return f;
+}
+
+FoPtr FoFormula::MakeAnd(FoPtr a, FoPtr b) {
+  std::vector<FoPtr> cs;
+  cs.push_back(std::move(a));
+  cs.push_back(std::move(b));
+  return MakeAnd(std::move(cs));
+}
+
+FoPtr FoFormula::MakeOr(FoPtr a, FoPtr b) {
+  std::vector<FoPtr> cs;
+  cs.push_back(std::move(a));
+  cs.push_back(std::move(b));
+  return MakeOr(std::move(cs));
+}
+
+FoPtr FoFormula::MakeExists(std::string var, FoPtr child) {
+  FoPtr f(new FoFormula());
+  f->kind_ = Kind::kExists;
+  f->relation_ = std::move(var);
+  f->children_.push_back(std::move(child));
+  return f;
+}
+
+FoPtr FoFormula::MakeForall(std::string var, FoPtr child) {
+  FoPtr f(new FoFormula());
+  f->kind_ = Kind::kForall;
+  f->relation_ = std::move(var);
+  f->children_.push_back(std::move(child));
+  return f;
+}
+
+FoPtr FoFormula::MakeExistsBlock(const std::vector<std::string>& vars,
+                                 FoPtr child) {
+  FoPtr f = std::move(child);
+  for (size_t i = vars.size(); i-- > 0;) {
+    f = MakeExists(vars[i], std::move(f));
+  }
+  return f;
+}
+
+void FoFormula::CollectFreeVars(std::vector<std::string>* bound,
+                                std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kAtom:
+    case Kind::kEquals:
+    case Kind::kLess:
+      for (const Term& t : args_) {
+        if (t.is_var() &&
+            std::find(bound->begin(), bound->end(), t.var) == bound->end()) {
+          AddUnique(out, t.var);
+        }
+      }
+      break;
+    case Kind::kTrue:
+      break;
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const FoPtr& c : children_) c->CollectFreeVars(bound, out);
+      break;
+    case Kind::kExists:
+    case Kind::kForall: {
+      bound->push_back(relation_);
+      children_[0]->CollectFreeVars(bound, out);
+      bound->pop_back();
+      break;
+    }
+  }
+}
+
+std::vector<std::string> FoFormula::FreeVariables() const {
+  std::vector<std::string> bound, out;
+  CollectFreeVars(&bound, &out);
+  return out;
+}
+
+void FoFormula::CollectSoVars(std::vector<std::string>* out) const {
+  if (kind_ == Kind::kAtom && so_var_) AddUnique(out, relation_);
+  for (const FoPtr& c : children_) c->CollectSoVars(out);
+}
+
+std::vector<std::string> FoFormula::SecondOrderVariables() const {
+  std::vector<std::string> out;
+  CollectSoVars(&out);
+  return out;
+}
+
+size_t FoFormula::MaxSubformulaFreeVars() const {
+  size_t m = FreeVariables().size();
+  for (const FoPtr& c : children_) {
+    m = std::max(m, c->MaxSubformulaFreeVars());
+  }
+  return m;
+}
+
+size_t FoFormula::QuantifierDepth() const {
+  size_t m = 0;
+  for (const FoPtr& c : children_) m = std::max(m, c->QuantifierDepth());
+  if (kind_ == Kind::kExists || kind_ == Kind::kForall) ++m;
+  return m;
+}
+
+bool FoFormula::IsQuantifierFree() const {
+  if (kind_ == Kind::kExists || kind_ == Kind::kForall) return false;
+  return std::all_of(children_.begin(), children_.end(),
+                     [](const FoPtr& c) { return c->IsQuantifierFree(); });
+}
+
+FoPtr FoFormula::Clone() const {
+  FoPtr f(new FoFormula());
+  f->kind_ = kind_;
+  f->relation_ = relation_;
+  f->args_ = args_;
+  f->so_var_ = so_var_;
+  for (const FoPtr& c : children_) f->children_.push_back(c->Clone());
+  return f;
+}
+
+std::string FoFormula::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kAtom: {
+      os << relation_ << "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i) os << ", ";
+        os << args_[i].ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kEquals:
+      os << args_[0].ToString() << " = " << args_[1].ToString();
+      break;
+    case Kind::kLess:
+      os << args_[0].ToString() << " < " << args_[1].ToString();
+      break;
+    case Kind::kTrue:
+      os << "true";
+      break;
+    case Kind::kNot:
+      os << "~(" << children_[0]->ToString() << ")";
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " & " : " | ";
+      os << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) os << sep;
+        os << children_[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kExists:
+      os << "exists " << relation_ << ". (" << children_[0]->ToString() << ")";
+      break;
+    case Kind::kForall:
+      os << "forall " << relation_ << ". (" << children_[0]->ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace fgq

@@ -1,0 +1,107 @@
+#ifndef FGQ_QUERY_FO_H_
+#define FGQ_QUERY_FO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fgq/query/term.h"
+
+/// \file fo.h
+/// First-order formulas (Section 3), optionally with free second-order
+/// variables (Section 5).
+///
+/// The AST covers: relational atoms (over database relations or free
+/// second-order variables), equality and order atoms between terms,
+/// negation, conjunction, disjunction, and first-order quantifiers.
+/// Formulas are immutable trees owned through unique_ptr.
+
+namespace fgq {
+
+class FoFormula;
+using FoPtr = std::unique_ptr<FoFormula>;
+
+/// A node of a first-order formula.
+class FoFormula {
+ public:
+  enum class Kind {
+    kAtom,     // R(t1..tk); `so_var` distinguishes second-order variables.
+    kEquals,   // t1 = t2
+    kLess,     // t1 < t2 (the domain's linear order, Section 2.3.1)
+    kTrue,     // verum
+    kNot,
+    kAnd,
+    kOr,
+    kExists,   // exists v. child
+    kForall,   // forall v. child
+  };
+
+  // -- Factories ------------------------------------------------------------
+
+  static FoPtr MakeAtom(std::string relation, std::vector<Term> args,
+                        bool so_var = false);
+  static FoPtr MakeEquals(Term a, Term b);
+  static FoPtr MakeLess(Term a, Term b);
+  static FoPtr MakeTrue();
+  static FoPtr MakeNot(FoPtr child);
+  static FoPtr MakeAnd(std::vector<FoPtr> children);
+  static FoPtr MakeOr(std::vector<FoPtr> children);
+  static FoPtr MakeAnd(FoPtr a, FoPtr b);
+  static FoPtr MakeOr(FoPtr a, FoPtr b);
+  static FoPtr MakeExists(std::string var, FoPtr child);
+  static FoPtr MakeForall(std::string var, FoPtr child);
+  /// exists v1. exists v2. ... child
+  static FoPtr MakeExistsBlock(const std::vector<std::string>& vars,
+                               FoPtr child);
+
+  // -- Accessors ------------------------------------------------------------
+
+  Kind kind() const { return kind_; }
+  const std::string& relation() const { return relation_; }
+  const std::vector<Term>& args() const { return args_; }
+  bool is_so_atom() const { return so_var_; }
+  const std::string& quantified_var() const { return relation_; }
+  const std::vector<FoPtr>& children() const { return children_; }
+  const FoFormula& child(size_t i = 0) const { return *children_[i]; }
+
+  // -- Analysis -------------------------------------------------------------
+
+  /// Free first-order variables, in first-occurrence order.
+  std::vector<std::string> FreeVariables() const;
+
+  /// Names of free second-order variables (SO atoms' relation symbols).
+  std::vector<std::string> SecondOrderVariables() const;
+
+  /// The maximum number of free variables over all subformulas — the
+  /// exponent h in the generic ||phi|| * ||D||^h evaluation bound
+  /// (Section 3).
+  size_t MaxSubformulaFreeVars() const;
+
+  /// Quantifier depth.
+  size_t QuantifierDepth() const;
+
+  /// True if no quantifier occurs.
+  bool IsQuantifierFree() const;
+
+  /// Deep copy.
+  FoPtr Clone() const;
+
+  std::string ToString() const;
+
+ private:
+  FoFormula() = default;
+
+  void CollectFreeVars(std::vector<std::string>* bound,
+                       std::vector<std::string>* out) const;
+  void CollectSoVars(std::vector<std::string>* out) const;
+
+  Kind kind_ = Kind::kTrue;
+  std::string relation_;        // Atom relation name, or quantified variable.
+  std::vector<Term> args_;      // Atom/equality/order arguments.
+  bool so_var_ = false;
+  std::vector<FoPtr> children_;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_QUERY_FO_H_

@@ -1,0 +1,417 @@
+#include "fgq/query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace fgq {
+
+namespace {
+
+/// Token kinds produced by the shared lexer.
+enum class Tok {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kTurnstile,  // :-
+  kNeq,        // !=
+  kLessEq,     // <=
+  kLess,       // <
+  kEquals,     // =
+  kAnd,        // &
+  kOr,         // |
+  kNot,        // ~
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '#') {  // Comment to end of line.
+        while (i < text_.size() && text_[i] != '\n') ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_' || text_[i] == '\'')) {
+          ++i;
+        }
+        out.push_back({Tok::kIdent, text_.substr(start, i - start), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        ++i;
+        while (i < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[i]))) {
+          ++i;
+        }
+        out.push_back({Tok::kNumber, text_.substr(start, i - start), start});
+        continue;
+      }
+      auto two = [&](char a, char b) {
+        return c == a && i + 1 < text_.size() && text_[i + 1] == b;
+      };
+      if (two(':', '-')) {
+        out.push_back({Tok::kTurnstile, ":-", start});
+        i += 2;
+        continue;
+      }
+      if (two('!', '=')) {
+        out.push_back({Tok::kNeq, "!=", start});
+        i += 2;
+        continue;
+      }
+      if (two('<', '=')) {
+        out.push_back({Tok::kLessEq, "<=", start});
+        i += 2;
+        continue;
+      }
+      switch (c) {
+        case '(':
+          out.push_back({Tok::kLParen, "(", start});
+          break;
+        case ')':
+          out.push_back({Tok::kRParen, ")", start});
+          break;
+        case ',':
+          out.push_back({Tok::kComma, ",", start});
+          break;
+        case '.':
+          out.push_back({Tok::kDot, ".", start});
+          break;
+        case '<':
+          out.push_back({Tok::kLess, "<", start});
+          break;
+        case '=':
+          out.push_back({Tok::kEquals, "=", start});
+          break;
+        case '&':
+          out.push_back({Tok::kAnd, "&", start});
+          break;
+        case '|':
+          out.push_back({Tok::kOr, "|", start});
+          break;
+        case '~':
+          out.push_back({Tok::kNot, "~", start});
+          break;
+        default:
+          return Status::ParseError("unexpected character '" +
+                                    std::string(1, c) + "' at offset " +
+                                    std::to_string(start));
+      }
+      ++i;
+    }
+    out.push_back({Tok::kEnd, "", text_.size()});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+/// Shared cursor over a token stream.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+  bool AtEnd() const { return Peek().kind == Tok::kEnd; }
+
+  bool Accept(Tok k) {
+    if (Peek().kind == k) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(Tok k, const char* what) {
+    if (Accept(k)) return Status::OK();
+    return Status::ParseError(std::string("expected ") + what + " at offset " +
+                              std::to_string(Peek().pos) + ", found '" +
+                              Peek().text + "'");
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Term MakeTerm(const Token& t) {
+  if (t.kind == Tok::kNumber) {
+    return Term::Const(std::strtoll(t.text.c_str(), nullptr, 10));
+  }
+  return Term::Var(t.text);
+}
+
+Result<Atom> ParseAtomBody(Cursor* cur, const std::string& rel) {
+  Atom a;
+  a.relation = rel;
+  FGQ_RETURN_NOT_OK(cur->Expect(Tok::kLParen, "'('"));
+  if (!cur->Accept(Tok::kRParen)) {
+    while (true) {
+      const Token& t = cur->Peek();
+      if (t.kind != Tok::kIdent && t.kind != Tok::kNumber) {
+        return Status::ParseError("expected term at offset " +
+                                  std::to_string(t.pos));
+      }
+      a.args.push_back(MakeTerm(cur->Next()));
+      if (cur->Accept(Tok::kRParen)) break;
+      FGQ_RETURN_NOT_OK(cur->Expect(Tok::kComma, "','"));
+    }
+  }
+  return a;
+}
+
+Result<ConjunctiveQuery> ParseRule(Cursor* cur) {
+  const Token& name_tok = cur->Peek();
+  if (name_tok.kind != Tok::kIdent) {
+    return Status::ParseError("expected rule head at offset " +
+                              std::to_string(name_tok.pos));
+  }
+  std::string name = cur->Next().text;
+  FGQ_RETURN_NOT_OK(cur->Expect(Tok::kLParen, "'('"));
+  std::vector<std::string> head;
+  if (!cur->Accept(Tok::kRParen)) {
+    while (true) {
+      const Token& t = cur->Peek();
+      if (t.kind != Tok::kIdent) {
+        return Status::ParseError("expected head variable at offset " +
+                                  std::to_string(t.pos));
+      }
+      head.push_back(cur->Next().text);
+      if (cur->Accept(Tok::kRParen)) break;
+      FGQ_RETURN_NOT_OK(cur->Expect(Tok::kComma, "','"));
+    }
+  }
+  FGQ_RETURN_NOT_OK(cur->Expect(Tok::kTurnstile, "':-'"));
+
+  ConjunctiveQuery q(name, head, {});
+  while (true) {
+    const Token& t = cur->Peek();
+    if (t.kind != Tok::kIdent) {
+      return Status::ParseError("expected body literal at offset " +
+                                std::to_string(t.pos));
+    }
+    std::string first = cur->Next().text;
+    bool negated = false;
+    if (first == "not") {
+      negated = true;
+      const Token& rt = cur->Peek();
+      if (rt.kind != Tok::kIdent) {
+        return Status::ParseError("expected relation after 'not' at offset " +
+                                  std::to_string(rt.pos));
+      }
+      first = cur->Next().text;
+    }
+    if (cur->Peek().kind == Tok::kLParen) {
+      FGQ_ASSIGN_OR_RETURN(Atom a, ParseAtomBody(cur, first));
+      a.negated = negated;
+      q.AddAtom(std::move(a));
+    } else {
+      if (negated) {
+        return Status::ParseError("'not' must precede an atom");
+      }
+      Comparison c;
+      c.lhs = first;
+      const Token& op = cur->Next();
+      switch (op.kind) {
+        case Tok::kNeq:
+          c.op = Comparison::Op::kNotEqual;
+          break;
+        case Tok::kLess:
+          c.op = Comparison::Op::kLess;
+          break;
+        case Tok::kLessEq:
+          c.op = Comparison::Op::kLessEq;
+          break;
+        default:
+          return Status::ParseError("expected comparison operator at offset " +
+                                    std::to_string(op.pos));
+      }
+      const Token& rhs = cur->Peek();
+      if (rhs.kind != Tok::kIdent) {
+        return Status::ParseError("expected variable after comparison at offset " +
+                                  std::to_string(rhs.pos));
+      }
+      c.rhs = cur->Next().text;
+      q.AddComparison(std::move(c));
+    }
+    if (cur->Accept(Tok::kDot)) break;
+    FGQ_RETURN_NOT_OK(cur->Expect(Tok::kComma, "',' or '.'"));
+  }
+  return q;
+}
+
+// ---- FO formula parsing -----------------------------------------------------
+
+class FoParser {
+ public:
+  FoParser(Cursor* cur, const std::set<std::string>& so_vars)
+      : cur_(cur), so_vars_(so_vars) {}
+
+  Result<FoPtr> ParseFormula() { return ParseOr(); }
+
+ private:
+  Result<FoPtr> ParseOr() {
+    FGQ_ASSIGN_OR_RETURN(FoPtr lhs, ParseAnd());
+    std::vector<FoPtr> parts;
+    parts.push_back(std::move(lhs));
+    while (cur_->Accept(Tok::kOr)) {
+      FGQ_ASSIGN_OR_RETURN(FoPtr rhs, ParseAnd());
+      parts.push_back(std::move(rhs));
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return FoFormula::MakeOr(std::move(parts));
+  }
+
+  Result<FoPtr> ParseAnd() {
+    FGQ_ASSIGN_OR_RETURN(FoPtr lhs, ParseUnary());
+    std::vector<FoPtr> parts;
+    parts.push_back(std::move(lhs));
+    while (cur_->Accept(Tok::kAnd)) {
+      FGQ_ASSIGN_OR_RETURN(FoPtr rhs, ParseUnary());
+      parts.push_back(std::move(rhs));
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return FoFormula::MakeAnd(std::move(parts));
+  }
+
+  Result<FoPtr> ParseUnary() {
+    if (cur_->Accept(Tok::kNot)) {
+      FGQ_ASSIGN_OR_RETURN(FoPtr c, ParseUnary());
+      return FoFormula::MakeNot(std::move(c));
+    }
+    const Token& t = cur_->Peek();
+    if (t.kind == Tok::kIdent && (t.text == "exists" || t.text == "forall")) {
+      bool is_exists = t.text == "exists";
+      cur_->Next();
+      const Token& v = cur_->Peek();
+      if (v.kind != Tok::kIdent) {
+        return Status::ParseError("expected quantified variable at offset " +
+                                  std::to_string(v.pos));
+      }
+      std::string var = cur_->Next().text;
+      FGQ_RETURN_NOT_OK(cur_->Expect(Tok::kDot, "'.'"));
+      FGQ_ASSIGN_OR_RETURN(FoPtr body, ParseUnary());
+      return is_exists ? FoFormula::MakeExists(var, std::move(body))
+                       : FoFormula::MakeForall(var, std::move(body));
+    }
+    return ParsePrimary();
+  }
+
+  Result<FoPtr> ParsePrimary() {
+    if (cur_->Accept(Tok::kLParen)) {
+      FGQ_ASSIGN_OR_RETURN(FoPtr f, ParseFormula());
+      FGQ_RETURN_NOT_OK(cur_->Expect(Tok::kRParen, "')'"));
+      return f;
+    }
+    const Token& t = cur_->Peek();
+    if (t.kind == Tok::kIdent && t.text == "true") {
+      cur_->Next();
+      return FoFormula::MakeTrue();
+    }
+    if (t.kind != Tok::kIdent && t.kind != Tok::kNumber) {
+      return Status::ParseError("expected atom or term at offset " +
+                                std::to_string(t.pos));
+    }
+    // Either R(...) or a comparison between terms.
+    Token first = cur_->Next();
+    if (first.kind == Tok::kIdent && cur_->Peek().kind == Tok::kLParen) {
+      FGQ_ASSIGN_OR_RETURN(Atom a, ParseAtomBody(cur_, first.text));
+      return FoFormula::MakeAtom(a.relation, a.args,
+                                 so_vars_.count(a.relation) > 0);
+    }
+    Term lhs = MakeTerm(first);
+    const Token& op = cur_->Next();
+    const Token& rhs_tok = cur_->Peek();
+    if (rhs_tok.kind != Tok::kIdent && rhs_tok.kind != Tok::kNumber) {
+      return Status::ParseError("expected term at offset " +
+                                std::to_string(rhs_tok.pos));
+    }
+    Term rhs = MakeTerm(cur_->Next());
+    switch (op.kind) {
+      case Tok::kEquals:
+        return FoFormula::MakeEquals(lhs, rhs);
+      case Tok::kLess:
+        return FoFormula::MakeLess(lhs, rhs);
+      case Tok::kLessEq:
+        return FoFormula::MakeOr(FoFormula::MakeLess(lhs, rhs),
+                                 FoFormula::MakeEquals(lhs, rhs));
+      case Tok::kNeq:
+        return FoFormula::MakeNot(FoFormula::MakeEquals(lhs, rhs));
+      default:
+        return Status::ParseError("expected comparison operator at offset " +
+                                  std::to_string(op.pos));
+    }
+  }
+
+  Cursor* cur_;
+  const std::set<std::string>& so_vars_;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseConjunctiveQuery(const std::string& text) {
+  FGQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
+  Cursor cur(std::move(tokens));
+  FGQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseRule(&cur));
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing input after rule (use ParseUnionQuery "
+                              "for multiple rules)");
+  }
+  FGQ_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+Result<UnionQuery> ParseUnionQuery(const std::string& text) {
+  FGQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
+  Cursor cur(std::move(tokens));
+  UnionQuery u;
+  while (!cur.AtEnd()) {
+    FGQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseRule(&cur));
+    if (u.disjuncts.empty()) u.name = q.name();
+    u.disjuncts.push_back(std::move(q));
+  }
+  FGQ_RETURN_NOT_OK(u.Validate());
+  return u;
+}
+
+Result<FoPtr> ParseFoFormula(const std::string& text,
+                             const std::set<std::string>& so_vars) {
+  FGQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
+  Cursor cur(std::move(tokens));
+  FoParser parser(&cur, so_vars);
+  FGQ_ASSIGN_OR_RETURN(FoPtr f, parser.ParseFormula());
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing input after formula at offset " +
+                              std::to_string(cur.Peek().pos));
+  }
+  return f;
+}
+
+}  // namespace fgq

@@ -1,0 +1,46 @@
+#ifndef FGQ_QUERY_PARSER_H_
+#define FGQ_QUERY_PARSER_H_
+
+#include <set>
+#include <string>
+
+#include "fgq/query/cq.h"
+#include "fgq/query/fo.h"
+#include "fgq/util/status.h"
+
+/// \file parser.h
+/// Text syntax for queries.
+///
+/// Conjunctive queries use Datalog-style rules:
+///
+///   Q(x, y) :- R(x, z), S(z, y), not T(x), x != y, z < y.
+///
+/// Identifiers in atom argument positions are variables; integer literals
+/// are constants. A UnionQuery is a sequence of rules with the same head
+/// arity.
+///
+/// First-order formulas use a conventional syntax:
+///
+///   exists z. (A(x, z) & B(z, y) & ~(x = y)) | x < y
+///
+/// with `~` binding tightest, then `&`, then `|`; quantifier bodies extend
+/// as far to the right as possible. `t1 != t2` and `t1 <= t2` are sugar.
+/// Atom symbols listed in `so_vars` are parsed as free second-order
+/// variables (Section 5).
+
+namespace fgq {
+
+/// Parses a single rule.
+Result<ConjunctiveQuery> ParseConjunctiveQuery(const std::string& text);
+
+/// Parses one or more rules into a union query.
+Result<UnionQuery> ParseUnionQuery(const std::string& text);
+
+/// Parses a first-order formula; atoms whose symbol is in `so_vars` become
+/// second-order-variable atoms.
+Result<FoPtr> ParseFoFormula(const std::string& text,
+                             const std::set<std::string>& so_vars = {});
+
+}  // namespace fgq
+
+#endif  // FGQ_QUERY_PARSER_H_

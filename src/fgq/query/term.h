@@ -1,0 +1,91 @@
+#ifndef FGQ_QUERY_TERM_H_
+#define FGQ_QUERY_TERM_H_
+
+#include <string>
+#include <vector>
+
+#include "fgq/db/value.h"
+
+/// \file term.h
+/// Syntactic building blocks shared by all query dialects: terms (variables
+/// or constants), relational atoms (possibly negated, for the NCQ fragment
+/// of Section 4.5), and comparison atoms (<, <=, != — Section 4.3).
+
+namespace fgq {
+
+/// A variable or a constant argument of an atom.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  Kind kind = Kind::kVariable;
+  std::string var;     // Valid when kind == kVariable.
+  Value constant = 0;  // Valid when kind == kConstant.
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = v;
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVariable; }
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind &&
+           (is_var() ? var == o.var : constant == o.constant);
+  }
+
+  std::string ToString() const {
+    return is_var() ? var : std::to_string(constant);
+  }
+};
+
+/// A relational atom R(t1, ..., tk), possibly negated (NCQ, Section 4.5).
+struct Atom {
+  std::string relation;
+  std::vector<Term> args;
+  bool negated = false;
+
+  size_t arity() const { return args.size(); }
+
+  /// The distinct variable names occurring in the atom, in first-occurrence
+  /// order.
+  std::vector<std::string> Variables() const;
+
+  std::string ToString() const;
+};
+
+/// A comparison atom between two variables (Section 4.3). Comparisons do
+/// not participate in the acyclicity measure.
+struct Comparison {
+  enum class Op { kLess, kLessEq, kNotEqual };
+
+  std::string lhs;
+  std::string rhs;
+  Op op = Op::kNotEqual;
+
+  /// Evaluates the comparison on concrete values.
+  bool Holds(Value a, Value b) const {
+    switch (op) {
+      case Op::kLess:
+        return a < b;
+      case Op::kLessEq:
+        return a <= b;
+      case Op::kNotEqual:
+        return a != b;
+    }
+    return false;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_QUERY_TERM_H_

@@ -1,0 +1,181 @@
+#include "fgq/so/enum_so.h"
+
+#include <map>
+#include <set>
+
+#include "fgq/fo/naive_fo.h"
+#include "fgq/so/sigma_count.h"
+
+namespace fgq {
+
+Status EnumerateSigma0GrayCode(const SoQuery& q, const Database& db,
+                               TapeVisitor* visitor) {
+  if (!q.IsSigma0()) {
+    return Status::InvalidArgument("query is not Sigma0");
+  }
+  if (!q.fo_free.empty()) {
+    return Status::InvalidArgument(
+        "bind free FO variables to constants before enumerating");
+  }
+  FGQ_ASSIGN_OR_RETURN(SlotSpace space,
+                       SlotSpace::Create(q.so_vars, db.DomainSize()));
+  const uint64_t total = space.total_slots();
+  if (total >= (uint64_t{1} << 20)) {
+    return Status::OutOfRange("solution tape too large");
+  }
+  // The witness cubes of a Sigma0 sentence partition the solution space:
+  // two distinct satisfying patterns differ on a constrained slot.
+  SoQuery as_sigma1;
+  as_sigma1.formula = q.formula->Clone();
+  as_sigma1.so_vars = q.so_vars;
+  FGQ_ASSIGN_OR_RETURN(std::vector<Cube> cubes, Sigma1Cubes(as_sigma1, db));
+
+  std::vector<bool> tape(total, false);
+  for (const Cube& cube : cubes) {
+    // Base solution: the pattern plus all-zero free slots.
+    std::fill(tape.begin(), tape.end(), false);
+    std::set<uint64_t> constrained;
+    for (const auto& [slot, bit] : cube.literals) {
+      tape[slot] = bit;
+      constrained.insert(slot);
+    }
+    std::vector<uint64_t> free_slots;
+    for (uint64_t s = 0; s < total; ++s) {
+      if (!constrained.count(s)) free_slots.push_back(s);
+    }
+    visitor->ResetTape(tape);
+    // Binary reflected Gray code over the free slots: step k flips the
+    // slot indexed by the ruler sequence (number of trailing ones of k).
+    const uint64_t steps = free_slots.empty()
+                               ? 0
+                               : (uint64_t{1} << free_slots.size()) - 1;
+    for (uint64_t k = 1; k <= steps; ++k) {
+      int flip = __builtin_ctzll(k);
+      uint64_t slot = free_slots[static_cast<size_t>(flip)];
+      tape[slot] = !tape[slot];
+      visitor->FlipBit(slot);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct FlashlightContext {
+  const SoQuery* q;
+  const Database* db;
+  const SlotSpace* space;
+  const FoFormula* matrix;
+  std::vector<std::string> prefix_vars;
+  std::vector<int8_t> bits;  // -1 undecided.
+  uint64_t emitted = 0;
+  uint64_t max_solutions = 0;
+  const std::function<void(const std::vector<bool>&)>* emit;
+};
+
+/// True if some witness (prefix assignment, pattern) is consistent with
+/// the currently decided bits — i.e. the partial solution extends.
+Result<bool> CanExtend(FlashlightContext* ctx) {
+  FoEvalContext fo_ctx(*ctx->db);
+  std::map<std::string, Value> assignment;
+  bool found = false;
+  // Odometer over prefix-variable assignments.
+  std::vector<Value> vals(ctx->prefix_vars.size(), 0);
+  const Value n = ctx->db->DomainSize();
+  while (!found) {
+    for (size_t i = 0; i < ctx->prefix_vars.size(); ++i) {
+      assignment[ctx->prefix_vars[i]] = vals[i];
+    }
+    std::set<uint64_t> slot_set;
+    FGQ_RETURN_NOT_OK(CollectSoSlotsForQuery(*ctx->matrix, *ctx->q,
+                                             *ctx->space, assignment,
+                                             &slot_set));
+    std::vector<uint64_t> slots(slot_set.begin(), slot_set.end());
+    std::map<uint64_t, bool> pattern;
+    for (uint64_t mask = 0; mask < (uint64_t{1} << slots.size()); ++mask) {
+      bool consistent = true;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        bool bit = (mask >> i) & 1;
+        int8_t decided = ctx->bits[slots[i]];
+        if (decided != -1 && decided != static_cast<int8_t>(bit)) {
+          consistent = false;
+          break;
+        }
+        pattern[slots[i]] = bit;
+      }
+      if (consistent) {
+        FGQ_ASSIGN_OR_RETURN(
+            bool v, EvalSigmaMatrix(*ctx->matrix, *ctx->q, fo_ctx,
+                                    *ctx->space, &assignment, pattern));
+        if (v) {
+          found = true;
+          break;
+        }
+      }
+      if (slots.empty()) break;
+    }
+    size_t p = 0;
+    while (p < vals.size() && ++vals[p] == n) {
+      vals[p] = 0;
+      ++p;
+    }
+    if (p == vals.size() || vals.empty()) break;
+  }
+  return found;
+}
+
+Status Descend(FlashlightContext* ctx, uint64_t depth) {
+  if (ctx->max_solutions > 0 && ctx->emitted >= ctx->max_solutions) {
+    return Status::OK();
+  }
+  if (depth == ctx->bits.size()) {
+    std::vector<bool> solution(ctx->bits.size());
+    for (size_t i = 0; i < ctx->bits.size(); ++i) {
+      solution[i] = ctx->bits[i] == 1;
+    }
+    (*ctx->emit)(solution);
+    ++ctx->emitted;
+    return Status::OK();
+  }
+  for (int8_t bit = 0; bit <= 1; ++bit) {
+    ctx->bits[depth] = bit;
+    FGQ_ASSIGN_OR_RETURN(bool extendable, CanExtend(ctx));
+    if (extendable) {
+      FGQ_RETURN_NOT_OK(Descend(ctx, depth + 1));
+    }
+    if (ctx->max_solutions > 0 && ctx->emitted >= ctx->max_solutions) break;
+  }
+  ctx->bits[depth] = -1;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EnumerateSigma1Flashlight(
+    const SoQuery& q, const Database& db, uint64_t max_solutions,
+    const std::function<void(const std::vector<bool>&)>& emit) {
+  if (!q.IsSigma1()) {
+    return Status::InvalidArgument("query is not Sigma1");
+  }
+  FGQ_ASSIGN_OR_RETURN(SlotSpace space,
+                       SlotSpace::Create(q.so_vars, db.DomainSize()));
+  if (space.total_slots() >= 40) {
+    return Status::OutOfRange("flashlight limited to 40 slots");
+  }
+  FlashlightContext ctx;
+  ctx.q = &q;
+  ctx.db = &db;
+  ctx.space = &space;
+  auto [prefix, matrix] = q.SplitSigma1();
+  ctx.prefix_vars = prefix;
+  ctx.matrix = matrix;
+  ctx.bits.assign(space.total_slots(), -1);
+  ctx.max_solutions = max_solutions;
+  ctx.emit = &emit;
+  // Root feasibility check, then DFS.
+  FGQ_ASSIGN_OR_RETURN(bool any, CanExtend(&ctx));
+  if (!any) return Status::OK();
+  return Descend(&ctx, 0);
+}
+
+}  // namespace fgq

@@ -1,0 +1,81 @@
+#ifndef FGQ_SO_ENUM_SO_H_
+#define FGQ_SO_ENUM_SO_H_
+
+#include <functional>
+#include <vector>
+
+#include "fgq/so/so_query.h"
+#include "fgq/util/status.h"
+
+/// \file enum_so.h
+/// Enumeration for prefix-restricted SO queries (Section 5.2, Theorem 5.5,
+/// [37]).
+///
+/// Solutions are second-order assignments — bit vectors over the SO slot
+/// space — so "constant delay" must be read in the delta model: the
+/// algorithm owns an output tape holding the current solution and each
+/// step edits a bounded part of it.
+///
+/// * EnumerateSigma0GrayCode — enum.Sigma0 with constant delta-delay:
+///   for each witness (FO assignment, satisfying pattern on the
+///   query-many constrained slots), the free slots are walked in binary
+///   reflected Gray-code order, so consecutive solutions differ in exactly
+///   one bit; moving between witnesses rewrites only the constrained
+///   slots. The visitor receives tape edits, not whole solutions.
+/// * EnumerateSigma1Flashlight — enum.Sigma1 with polynomial delay:
+///   depth-first search over slots with an extension check ("can this
+///   prefix be completed?") that is polynomial because a completion
+///   exists iff some witness (a, pattern) is consistent with the prefix.
+///
+/// (Theorem 5.5's negative side — enum.Pi1 has no polynomial delay unless
+/// P = NP — is a proof; the benchmarks only measure the two upper bounds.)
+
+namespace fgq {
+
+/// Tape-edit visitor for the delta-delay model. ResetTape announces a
+/// fresh base solution (full bit vector); FlipBit edits one slot. Each
+/// callback invocation corresponds to exactly one emitted solution.
+class TapeVisitor {
+ public:
+  virtual ~TapeVisitor() = default;
+  virtual void ResetTape(const std::vector<bool>& solution) = 0;
+  virtual void FlipBit(uint64_t slot) = 0;
+};
+
+/// A TapeVisitor that materializes every solution (for tests).
+class CollectingVisitor : public TapeVisitor {
+ public:
+  void ResetTape(const std::vector<bool>& solution) override {
+    tape_ = solution;
+    solutions_.push_back(tape_);
+  }
+  void FlipBit(uint64_t slot) override {
+    tape_[slot] = !tape_[slot];
+    solutions_.push_back(tape_);
+  }
+  const std::vector<std::vector<bool>>& solutions() const {
+    return solutions_;
+  }
+
+ private:
+  std::vector<bool> tape_;
+  std::vector<std::vector<bool>> solutions_;
+};
+
+/// Enumerates the SO assignments satisfying a Sigma0 query with no free
+/// FO variables (fo_free must be empty; bind FO values into constants
+/// first). Each solution is emitted exactly once; total slot count must
+/// stay below 2^20 per solution tape. Constant delta-delay.
+Status EnumerateSigma0GrayCode(const SoQuery& q, const Database& db,
+                               TapeVisitor* visitor);
+
+/// Enumerates the SO assignments satisfying a Sigma1 query (exists-prefix)
+/// in lexicographic order with polynomial delay, invoking `emit` with each
+/// full solution. Stops after `max_solutions` (0 = unlimited).
+Status EnumerateSigma1Flashlight(
+    const SoQuery& q, const Database& db, uint64_t max_solutions,
+    const std::function<void(const std::vector<bool>&)>& emit);
+
+}  // namespace fgq
+
+#endif  // FGQ_SO_ENUM_SO_H_

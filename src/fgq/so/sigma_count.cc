@@ -1,0 +1,335 @@
+#include "fgq/so/sigma_count.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "fgq/fo/naive_fo.h"
+
+namespace fgq {
+
+namespace {
+
+Result<Value> TermValue(const Term& t,
+                        const std::map<std::string, Value>& assignment) {
+  if (!t.is_var()) return t.constant;
+  auto it = assignment.find(t.var);
+  if (it == assignment.end()) {
+    return Status::InvalidArgument("unbound variable '" + t.var + "'");
+  }
+  return it->second;
+}
+
+Result<int> SoVarIndex(const SoQuery& q, const std::string& name) {
+  for (size_t i = 0; i < q.so_vars.size(); ++i) {
+    if (q.so_vars[i].name == name) return static_cast<int>(i);
+  }
+  return Status::InvalidArgument("unknown SO variable '" + name + "'");
+}
+
+}  // namespace
+
+Status CollectSoSlotsForQuery(const FoFormula& f, const SoQuery& q,
+                              const SlotSpace& space,
+                              const std::map<std::string, Value>& assignment,
+                              std::set<uint64_t>* slots) {
+  if (f.kind() == FoFormula::Kind::kAtom && f.is_so_atom()) {
+    FGQ_ASSIGN_OR_RETURN(int var_idx, SoVarIndex(q, f.relation()));
+    std::vector<Value> t(f.args().size());
+    for (size_t i = 0; i < f.args().size(); ++i) {
+      FGQ_ASSIGN_OR_RETURN(t[i], TermValue(f.args()[i], assignment));
+    }
+    slots->insert(space.SlotOf(static_cast<size_t>(var_idx), t));
+  }
+  for (const FoPtr& c : f.children()) {
+    FGQ_RETURN_NOT_OK(CollectSoSlotsForQuery(*c, q, space, assignment, slots));
+  }
+  return Status::OK();
+}
+
+namespace {
+// Reopened for the witness-iteration templates below.
+}  // namespace
+
+Result<bool> EvalSigmaMatrix(const FoFormula& f, const SoQuery& q,
+                             const FoEvalContext& ctx, const SlotSpace& space,
+                             std::map<std::string, Value>* assignment,
+                             const std::map<uint64_t, bool>& bits) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kAtom: {
+      if (!f.is_so_atom()) return EvalFo(f, ctx, assignment);
+      FGQ_ASSIGN_OR_RETURN(int var_idx, SoVarIndex(q, f.relation()));
+      std::vector<Value> t(f.args().size());
+      for (size_t i = 0; i < f.args().size(); ++i) {
+        FGQ_ASSIGN_OR_RETURN(t[i], TermValue(f.args()[i], *assignment));
+      }
+      uint64_t slot = space.SlotOf(static_cast<size_t>(var_idx), t);
+      auto it = bits.find(slot);
+      if (it == bits.end()) {
+        return Status::Internal("unassigned SO slot during evaluation");
+      }
+      return it->second;
+    }
+    case FoFormula::Kind::kNot: {
+      FGQ_ASSIGN_OR_RETURN(
+          bool v, EvalSigmaMatrix(f.child(), q, ctx, space, assignment, bits));
+      return !v;
+    }
+    case FoFormula::Kind::kAnd: {
+      for (const FoPtr& c : f.children()) {
+        FGQ_ASSIGN_OR_RETURN(
+            bool v, EvalSigmaMatrix(*c, q, ctx, space, assignment, bits));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case FoFormula::Kind::kOr: {
+      for (const FoPtr& c : f.children()) {
+        FGQ_ASSIGN_OR_RETURN(
+            bool v, EvalSigmaMatrix(*c, q, ctx, space, assignment, bits));
+        if (v) return true;
+      }
+      return false;
+    }
+    case FoFormula::Kind::kExists:
+    case FoFormula::Kind::kForall:
+      return Status::InvalidArgument("matrix must be quantifier-free");
+    default:
+      return EvalFo(f, ctx, assignment);
+  }
+}
+
+namespace {
+
+/// Runs `body(assignment)` for every assignment of `vars` over the domain.
+template <typename Body>
+Status ForEachAssignment(const std::vector<std::string>& vars, Value n,
+                         std::map<std::string, Value>* assignment,
+                         const Body& body) {
+  std::vector<Value> vals(vars.size(), 0);
+  while (true) {
+    for (size_t i = 0; i < vars.size(); ++i) (*assignment)[vars[i]] = vals[i];
+    FGQ_RETURN_NOT_OK(body());
+    size_t p = 0;
+    while (p < vars.size() && ++vals[p] == n) {
+      vals[p] = 0;
+      ++p;
+    }
+    if (p == vars.size() || vars.empty()) break;
+  }
+  return Status::OK();
+}
+
+constexpr size_t kMaxGroundAtoms = 24;
+
+/// Enumerates the satisfying (assignment, pattern) pairs of a
+/// quantifier-free matrix, invoking `on_witness(slots, pattern_mask)`.
+template <typename OnWitness>
+Status ForEachWitness(const FoFormula& matrix, const SoQuery& q,
+                      const Database& db, const SlotSpace& space,
+                      const std::vector<std::string>& fo_vars,
+                      const OnWitness& on_witness) {
+  FoEvalContext ctx(db);
+  std::map<std::string, Value> assignment;
+  return ForEachAssignment(fo_vars, db.DomainSize(), &assignment, [&]() {
+    std::set<uint64_t> slot_set;
+    FGQ_RETURN_NOT_OK(
+        CollectSoSlotsForQuery(matrix, q, space, assignment, &slot_set));
+    std::vector<uint64_t> slots(slot_set.begin(), slot_set.end());
+    if (slots.size() > kMaxGroundAtoms) {
+      return Status::OutOfRange("too many ground SO atoms per assignment");
+    }
+    std::map<uint64_t, bool> bits;
+    for (uint64_t mask = 0; mask < (uint64_t{1} << slots.size()); ++mask) {
+      for (size_t i = 0; i < slots.size(); ++i) {
+        bits[slots[i]] = (mask >> i) & 1;
+      }
+      FGQ_ASSIGN_OR_RETURN(
+          bool v, EvalSigmaMatrix(matrix, q, ctx, space, &assignment, bits));
+      if (v) {
+        FGQ_RETURN_NOT_OK(on_witness(slots, mask));
+      }
+      if (slots.empty()) break;
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace
+
+Result<BigInt> CountSigma0(const SoQuery& q, const Database& db) {
+  if (!q.IsSigma0()) {
+    return Status::InvalidArgument("query is not Sigma0 (quantifier-free)");
+  }
+  FGQ_ASSIGN_OR_RETURN(SlotSpace space,
+                       SlotSpace::Create(q.so_vars, db.DomainSize()));
+  BigInt total(0);
+  FGQ_RETURN_NOT_OK(ForEachWitness(
+      *q.formula, q, db, space, q.fo_free,
+      [&](const std::vector<uint64_t>& slots, uint64_t) {
+        total += BigInt::Pow2(space.total_slots() - slots.size());
+        return Status::OK();
+      }));
+  return total;
+}
+
+Result<std::vector<Cube>> Sigma1Cubes(const SoQuery& q, const Database& db) {
+  if (!q.IsSigma1()) {
+    return Status::InvalidArgument("query is not Sigma1");
+  }
+  if (!q.fo_free.empty()) {
+    return Status::InvalidArgument(
+        "Sigma1 counting treats all FO variables as quantified");
+  }
+  auto [prefix, matrix] = q.SplitSigma1();
+  FGQ_ASSIGN_OR_RETURN(SlotSpace space,
+                       SlotSpace::Create(q.so_vars, db.DomainSize()));
+  std::set<Cube> cubes;
+  FGQ_RETURN_NOT_OK(ForEachWitness(
+      *matrix, q, db, space, prefix,
+      [&](const std::vector<uint64_t>& slots, uint64_t mask) {
+        Cube c;
+        for (size_t i = 0; i < slots.size(); ++i) {
+          c.literals.push_back({slots[i], ((mask >> i) & 1) != 0});
+        }
+        cubes.insert(std::move(c));
+        return Status::OK();
+      }));
+  return std::vector<Cube>(cubes.begin(), cubes.end());
+}
+
+Result<BigInt> CountUnionOfCubesBrute(const std::vector<Cube>& cubes,
+                                      uint64_t total_slots) {
+  if (total_slots > 24) {
+    return Status::OutOfRange("brute-force union limited to 24 slots");
+  }
+  int64_t count = 0;
+  for (uint64_t assignment = 0; assignment < (uint64_t{1} << total_slots);
+       ++assignment) {
+    for (const Cube& c : cubes) {
+      bool member = true;
+      for (const auto& [slot, bit] : c.literals) {
+        if (((assignment >> slot) & 1) != static_cast<uint64_t>(bit)) {
+          member = false;
+          break;
+        }
+      }
+      if (member) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return BigInt(count);
+}
+
+Result<BigInt> CountSigma1Brute(const SoQuery& q, const Database& db) {
+  FGQ_ASSIGN_OR_RETURN(SlotSpace space,
+                       SlotSpace::Create(q.so_vars, db.DomainSize()));
+  FGQ_ASSIGN_OR_RETURN(std::vector<Cube> cubes, Sigma1Cubes(q, db));
+  return CountUnionOfCubesBrute(cubes, space.total_slots());
+}
+
+Result<BigInt> EstimateUnionOfCubes(const std::vector<Cube>& cubes,
+                                    uint64_t total_slots, double eps,
+                                    Rng* rng) {
+  if (cubes.empty()) return BigInt(0);
+  if (eps <= 0) return Status::InvalidArgument("eps must be positive");
+  // Total weight W = sum 2^(T - m_i), and relative sampling weights
+  // proportional to 2^(-m_i).
+  BigInt big_w(0);
+  std::vector<double> cumulative(cubes.size());
+  double acc = 0;
+  for (size_t i = 0; i < cubes.size(); ++i) {
+    big_w += BigInt::Pow2(total_slots - cubes[i].literals.size());
+    acc += std::ldexp(1.0, -static_cast<int>(cubes[i].literals.size()));
+    cumulative[i] = acc;
+  }
+  const uint64_t trials = static_cast<uint64_t>(
+      std::ceil(8.0 * static_cast<double>(cubes.size()) / (eps * eps)));
+  if (trials > UINT32_MAX) {
+    return Status::OutOfRange("eps too small: trial count exceeds 2^32");
+  }
+  uint64_t successes = 0;
+  std::unordered_map<uint64_t, bool> sample;
+  for (uint64_t t = 0; t < trials; ++t) {
+    // Pick a cube proportional to its size.
+    double r = rng->NextDouble() * acc;
+    size_t i = static_cast<size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), r) -
+        cumulative.begin());
+    if (i >= cubes.size()) i = cubes.size() - 1;
+    // Lazy uniform completion: cube i's literals fixed, the rest drawn on
+    // demand.
+    sample.clear();
+    for (const auto& [slot, bit] : cubes[i].literals) sample[slot] = bit;
+    auto bit_at = [&](uint64_t slot) {
+      auto [it, inserted] = sample.try_emplace(slot, false);
+      if (inserted) it->second = rng->Next() & 1;
+      return it->second;
+    };
+    // Success iff i is the first cube containing the sample.
+    bool first = true;
+    for (size_t j = 0; j < i && first; ++j) {
+      bool member = true;
+      for (const auto& [slot, bit] : cubes[j].literals) {
+        if (bit_at(slot) != bit) {
+          member = false;
+          break;
+        }
+      }
+      if (member) first = false;
+    }
+    if (first) ++successes;
+  }
+  BigInt scaled = big_w * BigInt(static_cast<int64_t>(successes));
+  // Divide by the number of trials (fits in 32 bits by construction),
+  // rounding to nearest so small counts are not floored a full unit down.
+  scaled += BigInt(static_cast<int64_t>(trials / 2));
+  return scaled.DivSmall(static_cast<uint32_t>(trials));
+}
+
+Result<BigInt> EstimateSigma1(const SoQuery& q, const Database& db,
+                              double eps, Rng* rng) {
+  FGQ_ASSIGN_OR_RETURN(SlotSpace space,
+                       SlotSpace::Create(q.so_vars, db.DomainSize()));
+  FGQ_ASSIGN_OR_RETURN(std::vector<Cube> cubes, Sigma1Cubes(q, db));
+  return EstimateUnionOfCubes(cubes, space.total_slots(), eps, rng);
+}
+
+std::vector<Cube> DnfCubes(const DnfFormula& dnf) {
+  std::vector<Cube> cubes;
+  for (const std::vector<int>& clause : dnf.clauses) {
+    Cube c;
+    bool contradictory = false;
+    std::map<uint64_t, bool> lits;
+    for (int lit : clause) {
+      uint64_t slot = static_cast<uint64_t>(std::abs(lit) - 1);
+      bool bit = lit > 0;
+      auto [it, inserted] = lits.try_emplace(slot, bit);
+      if (!inserted && it->second != bit) {
+        contradictory = true;
+        break;
+      }
+    }
+    if (contradictory) continue;
+    for (const auto& [slot, bit] : lits) c.literals.push_back({slot, bit});
+    cubes.push_back(std::move(c));
+  }
+  return cubes;
+}
+
+Result<BigInt> CountDnfExact(const DnfFormula& dnf) {
+  return CountUnionOfCubesBrute(DnfCubes(dnf),
+                                static_cast<uint64_t>(dnf.num_vars));
+}
+
+Result<BigInt> EstimateDnf(const DnfFormula& dnf, double eps, Rng* rng) {
+  std::vector<Cube> cubes = DnfCubes(dnf);
+  return EstimateUnionOfCubes(cubes, static_cast<uint64_t>(dnf.num_vars), eps,
+                              rng);
+}
+
+}  // namespace fgq

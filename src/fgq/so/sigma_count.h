@@ -1,0 +1,105 @@
+#ifndef FGQ_SO_SIGMA_COUNT_H_
+#define FGQ_SO_SIGMA_COUNT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fgq/fo/naive_fo.h"
+#include "fgq/so/so_query.h"
+#include "fgq/util/bigint.h"
+#include "fgq/util/random.h"
+
+/// \file sigma_count.h
+/// Counting for prefix-restricted SO queries (Section 5.1, Theorem 5.3,
+/// [72]) and the Karp-Luby FPRAS ([57], Definition 5.4).
+///
+/// * CountSigma0 — #Sigma0^rel is polynomial-time computable: for each
+///   assignment of the free FO variables, the formula constrains only
+///   query-many ground SO atom instances; each satisfying bit pattern
+///   contributes 2^(T - m) completions of the remaining T - m free slots.
+///   Counts are returned as BigInt (they reach 2^(n^r)).
+/// * CountSigma1Brute — exact #Sigma1 by brute force over the SO
+///   bit-space (test oracle; #Sigma1 contains #P-complete problems such
+///   as #3DNF, Example 5.1).
+/// * The cube machinery + EstimateUnionOfCubes — a Sigma1 query denotes a
+///   union of subcubes of {0,1}^T (one per witness (a, pattern) pair);
+///   Karp-Luby importance sampling estimates the union size within
+///   relative error eps with probability >= 3/4, in time polynomial in
+///   #cubes and 1/eps. #DNF (the paper's inspirational case) is the
+///   special instance where cubes come from DNF clauses.
+
+namespace fgq {
+
+/// A subcube of the SO bit-space: fixed literals (slot, bit), everything
+/// else free. Literals are sorted by slot.
+struct Cube {
+  std::vector<std::pair<uint64_t, bool>> literals;
+
+  bool operator<(const Cube& o) const { return literals < o.literals; }
+  bool operator==(const Cube& o) const { return literals == o.literals; }
+};
+
+/// Collects the ground SO slots the quantifier-free formula `f` touches
+/// under the given FO assignment. Shared with the enumeration module.
+Status CollectSoSlotsForQuery(const FoFormula& f, const SoQuery& q,
+                              const SlotSpace& space,
+                              const std::map<std::string, Value>& assignment,
+                              std::set<uint64_t>* slots);
+
+/// Evaluates a quantifier-free matrix under an FO assignment plus SO bits
+/// (slot -> bit); every touched slot must be present in `bits`.
+Result<bool> EvalSigmaMatrix(const FoFormula& f, const SoQuery& q,
+                             const FoEvalContext& ctx, const SlotSpace& space,
+                             std::map<std::string, Value>* assignment,
+                             const std::map<uint64_t, bool>& bits);
+
+/// Exact #Sigma0 counting (Theorem 5.3). The formula must be
+/// quantifier-free; free FO variables are q.fo_free.
+Result<BigInt> CountSigma0(const SoQuery& q, const Database& db);
+
+/// Extracts the witness cubes of a Sigma1 query: one cube per (prefix
+/// assignment, satisfying pattern) pair, deduplicated.
+Result<std::vector<Cube>> Sigma1Cubes(const SoQuery& q, const Database& db);
+
+/// Exact #Sigma1 by iterating the whole bit-space (requires total slots
+/// <= 24; test oracle).
+Result<BigInt> CountSigma1Brute(const SoQuery& q, const Database& db);
+
+/// Exact size of a union of cubes by brute force (total_slots <= 24).
+Result<BigInt> CountUnionOfCubesBrute(const std::vector<Cube>& cubes,
+                                      uint64_t total_slots);
+
+/// Karp-Luby estimator for |union of cubes| with relative error `eps`
+/// (probability >= 3/4). Runs ceil(8 * #cubes / eps^2) trials.
+Result<BigInt> EstimateUnionOfCubes(const std::vector<Cube>& cubes,
+                                    uint64_t total_slots, double eps,
+                                    Rng* rng);
+
+/// FPRAS for #Sigma1 = cubes + Karp-Luby (the [57]-style algorithm the
+/// paper cites for #Sigma1^rel).
+Result<BigInt> EstimateSigma1(const SoQuery& q, const Database& db,
+                              double eps, Rng* rng);
+
+// ---- #DNF -------------------------------------------------------------------
+
+/// A propositional DNF formula: clauses are conjunctions of literals,
+/// literal +v means variable (v-1) positive, -v negative.
+struct DnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+/// The clauses as cubes over slots [0, num_vars).
+std::vector<Cube> DnfCubes(const DnfFormula& dnf);
+
+/// Exact #DNF by enumeration (num_vars <= 24).
+Result<BigInt> CountDnfExact(const DnfFormula& dnf);
+
+/// Karp-Luby FPRAS for #DNF.
+Result<BigInt> EstimateDnf(const DnfFormula& dnf, double eps, Rng* rng);
+
+}  // namespace fgq
+
+#endif  // FGQ_SO_SIGMA_COUNT_H_

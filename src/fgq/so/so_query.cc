@@ -1,0 +1,65 @@
+#include "fgq/so/so_query.h"
+
+namespace fgq {
+
+bool SoQuery::IsSigma1() const {
+  const FoFormula* f = formula.get();
+  while (f->kind() == FoFormula::Kind::kExists) f = &f->child();
+  return f->IsQuantifierFree();
+}
+
+std::pair<std::vector<std::string>, const FoFormula*> SoQuery::SplitSigma1()
+    const {
+  std::vector<std::string> prefix;
+  const FoFormula* f = formula.get();
+  while (f->kind() == FoFormula::Kind::kExists) {
+    prefix.push_back(f->quantified_var());
+    f = &f->child();
+  }
+  return {prefix, f};
+}
+
+Result<SlotSpace> SlotSpace::Create(const std::vector<SoVar>& so_vars,
+                                    Value domain_size) {
+  SlotSpace s;
+  s.n_ = domain_size;
+  uint64_t base = 0;
+  for (const SoVar& v : so_vars) {
+    s.bases_.push_back(base);
+    s.arities_.push_back(v.arity);
+    uint64_t count = 1;
+    for (size_t i = 0; i < v.arity; ++i) {
+      if (count > (uint64_t{1} << 62) / std::max<uint64_t>(1, domain_size)) {
+        return Status::OutOfRange("SO bit-space exceeds 2^62 slots");
+      }
+      count *= static_cast<uint64_t>(domain_size);
+    }
+    base += count;
+  }
+  s.total_ = base;
+  return s;
+}
+
+uint64_t SlotSpace::SlotOf(size_t var_idx,
+                           const std::vector<Value>& tuple) const {
+  uint64_t offset = 0;
+  for (Value t : tuple) {
+    offset = offset * static_cast<uint64_t>(n_) + static_cast<uint64_t>(t);
+  }
+  return bases_[var_idx] + offset;
+}
+
+void SlotSpace::Decode(uint64_t slot, size_t* var_idx,
+                       std::vector<Value>* tuple) const {
+  size_t i = bases_.size() - 1;
+  while (bases_[i] > slot) --i;
+  *var_idx = i;
+  uint64_t offset = slot - bases_[i];
+  tuple->assign(arities_[i], 0);
+  for (size_t j = arities_[i]; j-- > 0;) {
+    (*tuple)[j] = static_cast<Value>(offset % static_cast<uint64_t>(n_));
+    offset /= static_cast<uint64_t>(n_);
+  }
+}
+
+}  // namespace fgq

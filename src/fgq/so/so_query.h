@@ -1,0 +1,75 @@
+#ifndef FGQ_SO_SO_QUERY_H_
+#define FGQ_SO_SO_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "fgq/db/database.h"
+#include "fgq/query/fo.h"
+#include "fgq/util/status.h"
+
+/// \file so_query.h
+/// Queries with free second-order variables (Section 5).
+///
+/// A SoQuery is a first-order formula over database relations and free
+/// relation variables X_1..X_m (marked as SO atoms in the AST). The prefix
+/// classes of the paper are recognized syntactically: Sigma0 formulas are
+/// quantifier-free, Sigma1 formulas are an exists-block over a
+/// quantifier-free matrix.
+///
+/// An *answer* is a pair (a, A): values for the free first-order variables
+/// plus relations for the SO variables over the database domain. SO
+/// assignments are manipulated through their bit-space: variable X of
+/// arity r owns n^r slots, one per tuple over the domain, with a global
+/// slot numbering (SlotSpace).
+
+namespace fgq {
+
+/// A free second-order (relation) variable.
+struct SoVar {
+  std::string name;
+  size_t arity = 1;
+};
+
+/// A prefix-class query with free SO variables.
+struct SoQuery {
+  FoPtr formula;
+  std::vector<SoVar> so_vars;
+  std::vector<std::string> fo_free;  // Free first-order variables.
+
+  /// Syntactic class checks.
+  bool IsSigma0() const { return formula->IsQuantifierFree(); }
+  bool IsSigma1() const;
+
+  /// Strips the exists-prefix, returning (prefix vars, matrix pointer).
+  /// The matrix is owned by `formula`.
+  std::pair<std::vector<std::string>, const FoFormula*> SplitSigma1() const;
+};
+
+/// Global numbering of the SO bit-space: variable i of arity r owns the
+/// contiguous slot range [base_i, base_i + n^r).
+class SlotSpace {
+ public:
+  /// Fails when the bit-space exceeds 2^62 slots.
+  static Result<SlotSpace> Create(const std::vector<SoVar>& so_vars,
+                                  Value domain_size);
+
+  uint64_t total_slots() const { return total_; }
+  Value domain_size() const { return n_; }
+
+  /// Slot of X_var(tuple).
+  uint64_t SlotOf(size_t var_idx, const std::vector<Value>& tuple) const;
+
+  /// Inverse: which variable and tuple a slot denotes.
+  void Decode(uint64_t slot, size_t* var_idx, std::vector<Value>* tuple) const;
+
+ private:
+  std::vector<uint64_t> bases_;
+  std::vector<size_t> arities_;
+  uint64_t total_ = 0;
+  Value n_ = 0;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_SO_SO_QUERY_H_

@@ -1,0 +1,215 @@
+#include "fgq/util/bigint.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fgq {
+
+BigInt::BigInt(int64_t v) {
+  if (v == 0) return;
+  uint64_t u;
+  if (v < 0) {
+    negative_ = true;
+    u = static_cast<uint64_t>(-(v + 1)) + 1;  // Avoids INT64_MIN overflow.
+  } else {
+    u = static_cast<uint64_t>(v);
+  }
+  mag_.push_back(static_cast<uint32_t>(u));
+  if (u >> 32) mag_.push_back(static_cast<uint32_t>(u >> 32));
+}
+
+BigInt BigInt::Pow2(uint64_t e) {
+  BigInt r;
+  r.mag_.assign(e / 32 + 1, 0);
+  r.mag_.back() = 1u << (e % 32);
+  return r;
+}
+
+BigInt BigInt::Pow(const BigInt& base, uint64_t e) {
+  BigInt result(1);
+  BigInt b = base;
+  while (e > 0) {
+    if (e & 1) result *= b;
+    b *= b;
+    e >>= 1;
+  }
+  return result;
+}
+
+BigInt BigInt::FromString(const std::string& s) {
+  BigInt r;
+  size_t i = 0;
+  bool neg = false;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+    neg = s[i] == '-';
+    ++i;
+  }
+  const BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    assert(s[i] >= '0' && s[i] <= '9');
+    r = r * ten + BigInt(s[i] - '0');
+  }
+  if (neg && !r.is_zero()) r.negative_ = true;
+  return r;
+}
+
+int BigInt::CompareMag(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> out(big.size(), 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < big.size(); ++i) {
+    uint64_t sum = carry + big[i] + (i < small.size() ? small[i] : 0);
+    out[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  assert(CompareMag(a, b) >= 0);
+  std::vector<uint32_t> out(a.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    borrow = diff < 0;
+    if (diff < 0) diff += int64_t{1} << 32;
+    out[i] = static_cast<uint32_t>(diff);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+void BigInt::Trim() {
+  while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
+  if (mag_.empty()) negative_ = false;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt r;
+  if (negative_ == o.negative_) {
+    r.mag_ = AddMag(mag_, o.mag_);
+    r.negative_ = negative_;
+  } else {
+    int cmp = CompareMag(mag_, o.mag_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      r.mag_ = SubMag(mag_, o.mag_);
+      r.negative_ = negative_;
+    } else {
+      r.mag_ = SubMag(o.mag_, mag_);
+      r.negative_ = o.negative_;
+    }
+  }
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt();
+  BigInt r;
+  r.mag_.assign(mag_.size() + o.mag_.size(), 0);
+  for (size_t i = 0; i < mag_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < o.mag_.size(); ++j) {
+      uint64_t cur = r.mag_[i + j] + carry +
+                     static_cast<uint64_t>(mag_[i]) * o.mag_[j];
+      r.mag_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + o.mag_.size();
+    while (carry) {
+      uint64_t cur = r.mag_[k] + carry;
+      r.mag_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  r.negative_ = negative_ != o.negative_;
+  r.Trim();
+  return r;
+}
+
+bool BigInt::operator<(const BigInt& o) const {
+  if (negative_ != o.negative_) return negative_;
+  int cmp = CompareMag(mag_, o.mag_);
+  return negative_ ? cmp > 0 : cmp < 0;
+}
+
+BigInt BigInt::DivSmall(uint32_t divisor) const {
+  assert(divisor != 0);
+  BigInt out;
+  out.negative_ = negative_;
+  out.mag_.assign(mag_.size(), 0);
+  uint64_t rem = 0;
+  for (size_t i = mag_.size(); i-- > 0;) {
+    uint64_t cur = (rem << 32) | mag_[i];
+    out.mag_[i] = static_cast<uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  out.Trim();
+  return out;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeated division of the limb vector by 10^9.
+  std::vector<uint32_t> limbs = mag_;
+  std::string digits;
+  while (!limbs.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = limbs.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | limbs[i];
+      limbs[i] = static_cast<uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+double BigInt::ToDouble() const {
+  double v = 0;
+  for (size_t i = mag_.size(); i-- > 0;) {
+    v = v * 4294967296.0 + mag_[i];
+  }
+  return negative_ ? -v : v;
+}
+
+int64_t BigInt::ToInt64() const {
+  assert(mag_.size() <= 2);
+  uint64_t u = 0;
+  if (!mag_.empty()) u = mag_[0];
+  if (mag_.size() > 1) u |= static_cast<uint64_t>(mag_[1]) << 32;
+  int64_t v = static_cast<int64_t>(u);
+  return negative_ ? -v : v;
+}
+
+}  // namespace fgq

@@ -1,0 +1,91 @@
+#ifndef FGQ_UTIL_BIGINT_H_
+#define FGQ_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file bigint.h
+/// Arbitrary-precision signed integers.
+///
+/// Counting problems in Section 5 of the paper produce answer counts as
+/// large as 2^(n^k) (the number of second-order assignments), which
+/// overflows any machine word. BigInt supports exactly the operations the
+/// counting engines need: add, subtract, multiply, compare, powers of two,
+/// and decimal rendering. Schoolbook algorithms are sufficient: operand
+/// sizes are tiny compared to the data sizes that dominate our benchmarks.
+
+namespace fgq {
+
+/// Signed arbitrary-precision integer with magnitude stored in base 2^32.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From a machine integer.
+  BigInt(int64_t v);  // NOLINT(runtime/explicit): numeric literal ergonomics.
+
+  /// 2^e.
+  static BigInt Pow2(uint64_t e);
+  /// base^e by square-and-multiply.
+  static BigInt Pow(const BigInt& base, uint64_t e);
+  /// Parses a decimal string with optional leading '-'.
+  static BigInt FromString(const std::string& s);
+
+  bool is_zero() const { return mag_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator-() const;
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  bool operator==(const BigInt& o) const {
+    return negative_ == o.negative_ && mag_ == o.mag_;
+  }
+  bool operator!=(const BigInt& o) const { return !(*this == o); }
+  bool operator<(const BigInt& o) const;
+  bool operator<=(const BigInt& o) const { return *this < o || *this == o; }
+  bool operator>(const BigInt& o) const { return o < *this; }
+  bool operator>=(const BigInt& o) const { return o <= *this; }
+
+  /// Quotient by a small positive divisor (remainder discarded); used by
+  /// the FPRAS estimators to scale big weights by sample counts.
+  BigInt DivSmall(uint32_t divisor) const;
+
+  /// Decimal representation ("-123", "0", ...).
+  std::string ToString() const;
+
+  /// Lossy conversion to double, for accuracy reporting in the FPRAS
+  /// benchmarks. Saturates to +/-inf far beyond double range.
+  double ToDouble() const;
+
+  /// Exact conversion to int64 when the value fits.
+  /// Asserts (debug) / truncates (release) otherwise.
+  int64_t ToInt64() const;
+
+ private:
+  static int CompareMag(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  void Trim();
+
+  bool negative_ = false;          // Never true when mag_ is empty (zero).
+  std::vector<uint32_t> mag_;      // Little-endian limbs, base 2^32.
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToString();
+}
+
+}  // namespace fgq
+
+#endif  // FGQ_UTIL_BIGINT_H_

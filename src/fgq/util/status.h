@@ -1,0 +1,148 @@
+#ifndef FGQ_UTIL_STATUS_H_
+#define FGQ_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Error model for the fgq library.
+///
+/// Library code does not throw exceptions. Fallible operations return
+/// fgq::Status (for side-effecting calls) or fgq::Result<T> (for
+/// value-producing calls), in the style of Apache Arrow / RocksDB.
+
+namespace fgq {
+
+/// Coarse error taxonomy. Kept deliberately small: callers almost always
+/// either propagate or print.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kParseError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// An (code, message) pair describing the outcome of an operation.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy in the
+/// OK case and carry a message string otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status.
+///
+/// Accessors assert on misuse in debug builds; use ok() to branch.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define FGQ_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::fgq::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise binds the value to `lhs`.
+#define FGQ_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto FGQ_CONCAT_(res_, __LINE__) = (expr);             \
+  if (!FGQ_CONCAT_(res_, __LINE__).ok())                 \
+    return FGQ_CONCAT_(res_, __LINE__).status();         \
+  lhs = std::move(FGQ_CONCAT_(res_, __LINE__)).value()
+
+#define FGQ_CONCAT_INNER_(a, b) a##b
+#define FGQ_CONCAT_(a, b) FGQ_CONCAT_INNER_(a, b)
+
+}  // namespace fgq
+
+#endif  // FGQ_UTIL_STATUS_H_

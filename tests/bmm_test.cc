@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "fgq/eval/bmm.h"
+#include "fgq/eval/oracle.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+TEST(Bmm, MatrixProductQueryShape) {
+  ConjunctiveQuery pi = MatrixProductQuery();
+  EXPECT_TRUE(IsAcyclicQuery(pi));
+  EXPECT_FALSE(IsFreeConnex(pi));
+  EXPECT_TRUE(pi.IsSelfJoinFree());
+}
+
+TEST(Bmm, QueryMultiplicationMatchesNaive) {
+  Rng rng(17);
+  for (size_t n : {1u, 2u, 5u, 16u}) {
+    BoolMatrix a = RandomMatrix(n, 0.3, &rng);
+    BoolMatrix b = RandomMatrix(n, 0.3, &rng);
+    BoolMatrix expected = MultiplyNaive(a, b);
+    auto got = MultiplyViaQuery(a, b);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->bits, expected.bits) << "n=" << n;
+  }
+}
+
+TEST(Bmm, IdentityTimesAnything) {
+  Rng rng(18);
+  size_t n = 8;
+  BoolMatrix id(n);
+  for (size_t i = 0; i < n; ++i) id.Set(i, i, true);
+  BoolMatrix b = RandomMatrix(n, 0.4, &rng);
+  auto got = MultiplyViaQuery(id, b);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->bits, b.bits);
+}
+
+TEST(Bmm, EmbedExample47) {
+  // Example 4.7: phi(x1..x4 projected) = E(x1,x4), S(x1,x1,x3),
+  // T(x3,x2,x4); x1, x2 play x, y; x3 plays z.
+  auto q = ParseConjunctiveQuery(
+      "Q(x1, x2, x4) :- E(x1, x4), S(x1, x1, x3), T(x3, x2, x4).");
+  ASSERT_TRUE(q.ok());
+  Rng rng(19);
+  const size_t n = 6;
+  BoolMatrix a = RandomMatrix(n, 0.35, &rng);
+  BoolMatrix b = RandomMatrix(n, 0.35, &rng);
+  auto db = EmbedMatricesIntoQuery(*q, "x1", "x2", "x3", a, b);
+  ASSERT_TRUE(db.ok()) << db.status();
+  // The Example 4.7 query is itself cyclic once x2 is stripped (the point
+  // is the reduction, not acyclic evaluation) — use the oracle.
+  auto answers = EvaluateBacktrack(*q, *db);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  // Answers are (x1, x2, bottom) with product bit set.
+  BoolMatrix expected = MultiplyNaive(a, b);
+  BoolMatrix got(n);
+  for (size_t r = 0; r < answers->NumTuples(); ++r) {
+    const Value* row = answers->RowData(r);
+    ASSERT_EQ(row[2], static_cast<Value>(n));  // The padding element.
+    got.Set(static_cast<size_t>(row[0]), static_cast<size_t>(row[1]), true);
+  }
+  EXPECT_EQ(got.bits, expected.bits);
+}
+
+TEST(Bmm, EmbedRejectsSharedAtomForXY) {
+  auto q = ParseConjunctiveQuery("Q(x, y) :- R(x, y, z).");
+  ASSERT_TRUE(q.ok());
+  BoolMatrix a(2), b(2);
+  auto db = EmbedMatricesIntoQuery(*q, "x", "y", "z", a, b);
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(Bmm, EmbedRejectsSelfJoins) {
+  auto q = ParseConjunctiveQuery("Q(x, y) :- R(x, z), R(z, y).");
+  ASSERT_TRUE(q.ok());
+  BoolMatrix a(2), b(2);
+  auto db = EmbedMatricesIntoQuery(*q, "x", "y", "z", a, b);
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(Bmm, SparseMatrices) {
+  Rng rng(20);
+  BoolMatrix a = RandomMatrix(12, 0.05, &rng);
+  BoolMatrix b = RandomMatrix(12, 0.05, &rng);
+  auto got = MultiplyViaQuery(a, b);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->bits, MultiplyNaive(a, b).bits);
+}
+
+TEST(Bmm, AllOnes) {
+  size_t n = 5;
+  BoolMatrix a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a.Set(i, j, true);
+      b.Set(i, j, true);
+    }
+  }
+  auto got = MultiplyViaQuery(a, b);
+  ASSERT_TRUE(got.ok());
+  for (bool bit : got->bits) EXPECT_TRUE(bit);
+}
+
+}  // namespace
+}  // namespace fgq

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "fgq/eval/clique_gadget.h"
+#include "fgq/eval/oracle.h"
+#include "fgq/fo/naive_fo.h"
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+// ---- The ACQ_< clique gadget (Theorem 4.15) ------------------------------------
+
+TEST(CliqueGadget, QueryIsAcyclicWithoutComparisons) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  CliqueGadget gadget = BuildCliqueGadget(g, 2);
+  EXPECT_TRUE(IsAcyclicQuery(gadget.query));
+  EXPECT_FALSE(gadget.query.comparisons().empty());
+  EXPECT_TRUE(gadget.query.IsBoolean());
+}
+
+TEST(CliqueGadget, K2DetectsAnEdge) {
+  // k = 2: a 2-clique is just an edge.
+  Graph with_edge(4);
+  with_edge.AddEdge(1, 3);
+  CliqueGadget g1 = BuildCliqueGadget(with_edge, 2);
+  auto r1 = EvaluateBacktrack(g1.query, g1.db);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_GT(r1->NumTuples(), 0u);
+
+  Graph no_edge(4);
+  CliqueGadget g2 = BuildCliqueGadget(no_edge, 2);
+  auto r2 = EvaluateBacktrack(g2.query, g2.db);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->NumTuples(), 0u);
+}
+
+TEST(CliqueGadget, K3OnTinyGraphs) {
+  // Triangle present.
+  Graph tri(3);
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  tri.AddEdge(0, 2);
+  ASSERT_TRUE(HasClique(tri, 3));
+  CliqueGadget g1 = BuildCliqueGadget(tri, 3);
+  auto r1 = EvaluateBacktrack(g1.query, g1.db);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_GT(r1->NumTuples(), 0u);
+
+  // Path of three vertices: no triangle.
+  Graph path(3);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  ASSERT_FALSE(HasClique(path, 3));
+  CliqueGadget g2 = BuildCliqueGadget(path, 3);
+  auto r2 = EvaluateBacktrack(g2.query, g2.db);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->NumTuples(), 0u);
+}
+
+TEST(CliqueGadget, AgreementSweepK2) {
+  Rng rng(23);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = RandomGraph(5, static_cast<int>(rng.Below(6)), &rng);
+    CliqueGadget gadget = BuildCliqueGadget(g, 2);
+    auto r = EvaluateBacktrack(gadget.query, gadget.db);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->NumTuples() > 0, HasClique(g, 2)) << "trial " << trial;
+  }
+}
+
+TEST(CliqueGadget, HasCliqueReference) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(HasClique(g, 3));
+  EXPECT_FALSE(HasClique(g, 4));
+  EXPECT_TRUE(HasClique(g, 1));
+  EXPECT_TRUE(HasClique(Graph(3), 1));
+  EXPECT_FALSE(HasClique(Graph(3), 2));
+}
+
+// ---- Example 5.2: FO with order expresses a 3-clique ---------------------------
+
+TEST(OrderedFo, ThreeCliqueSentence) {
+  // Psi_0: exists v1 v2 v3 with v1 < v2 < v3 forming a triangle
+  // (on the symmetric edge relation).
+  auto f = ParseFoFormula(
+      "exists v1. exists v2. exists v3. "
+      "(v1 < v2 & v2 < v3 & E(v1, v2) & E(v2, v3) & E(v3, v1))");
+  ASSERT_TRUE(f.ok()) << f.status();
+
+  Graph tri(4);
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  tri.AddEdge(0, 2);
+  auto yes = ModelCheckFoNaive(**f, GraphDatabase(tri));
+  ASSERT_TRUE(yes.ok()) << yes.status();
+  EXPECT_TRUE(*yes);
+
+  Graph path(4);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  auto no = ModelCheckFoNaive(**f, GraphDatabase(path));
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+// ---- Order comparisons in the oracle -------------------------------------------
+
+TEST(OrderComparisons, LessAndLessEqSemantics) {
+  Database db;
+  Relation r("R", 2);
+  r.Add({1, 2});
+  r.Add({2, 2});
+  r.Add({3, 2});
+  db.PutRelation(r);
+  auto lt = EvaluateBacktrack(
+      *ParseConjunctiveQuery("Q(x, y) :- R(x, y), x < y."), db);
+  EXPECT_EQ(lt->NumTuples(), 1u);
+  auto le = EvaluateBacktrack(
+      *ParseConjunctiveQuery("Q(x, y) :- R(x, y), x <= y."), db);
+  EXPECT_EQ(le->NumTuples(), 2u);
+  auto ne = EvaluateBacktrack(
+      *ParseConjunctiveQuery("Q(x, y) :- R(x, y), x != y."), db);
+  EXPECT_EQ(ne->NumTuples(), 2u);
+}
+
+TEST(OrderComparisons, JoinMaterializePostFilterAgrees) {
+  Rng rng(29);
+  Database db;
+  db.PutRelation(RandomRelation("R", 2, 30, 6, &rng));
+  db.PutRelation(RandomRelation("S", 2, 30, 6, &rng));
+  auto q = ParseConjunctiveQuery("Q(x, z) :- R(x, y), S(y, z), x < z.");
+  ASSERT_TRUE(q.ok());
+  auto a = EvaluateJoinMaterialize(*q, db);
+  auto b = EvaluateBacktrack(*q, db);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Relation ra = *a;
+  Relation rb = *b;
+  ra.SortDedup();
+  rb.SortDedup();
+  EXPECT_EQ(ra.NumTuples(), rb.NumTuples());
+}
+
+}  // namespace
+}  // namespace fgq

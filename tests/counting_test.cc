@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fgq/count/acq_count.h"
+#include "fgq/count/fields.h"
+#include "fgq/count/matchings.h"
+#include "fgq/eval/oracle.h"
+#include "fgq/hypergraph/star_size.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto r = ParseConjunctiveQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Database RandomDbFor(const ConjunctiveQuery& q, size_t tuples, Value domain,
+                     uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  for (const Atom& a : q.atoms()) {
+    if (!db.Has(a.relation)) {
+      db.PutRelation(
+          RandomRelation(a.relation, a.arity(), tuples, domain, &rng));
+    }
+  }
+  db.DeclareDomainSize(domain);
+  return db;
+}
+
+// ---- Quantifier-free counting DP (Theorem 4.21) -------------------------------
+
+TEST(CountAcq0, SimpleJoin) {
+  Database db;
+  Relation e("E", 2);
+  e.Add({1, 2});
+  e.Add({2, 3});
+  e.Add({2, 4});
+  db.PutRelation(e);
+  Relation f = e;
+  f.set_name("F");
+  db.PutRelation(f);
+  auto ones = [](Value) { return BigInt(1); };
+  auto c = WeightedCountAcq0<BigIntField>(
+      Q("Q(x, y, z) :- E(x, y), F(y, z)."), db, ones);
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->ToString(), "2");  // (1,2,3), (1,2,4).
+}
+
+TEST(CountAcq0, RejectsQuantifiedQuery) {
+  Database db;
+  db.PutRelation(Relation("E", 2));
+  auto ones = [](Value) { return BigInt(1); };
+  auto c = WeightedCountAcq0<BigIntField>(Q("Q(x) :- E(x, y)."), db, ones);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(CountAcq0, WeightedSumMatchesManualComputation) {
+  Database db;
+  Relation e("E", 2);
+  e.Add({0, 1});
+  e.Add({1, 2});
+  db.PutRelation(e);
+  // Weight w(v) = v + 1; answers (0,1) and (1,2) weigh 1*2 and 2*3.
+  auto w = [](Value v) { return static_cast<double>(v + 1); };
+  auto c = WeightedCountAcq0<DoubleField>(Q("Q(x, y) :- E(x, y)."), db, w);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 8.0);
+}
+
+TEST(CountAcq0, FieldsAgreeModulo) {
+  ConjunctiveQuery q = Q("Q(x, y, z) :- R(x, y), S(y, z), T(z).");
+  Database db = RandomDbFor(q, 60, 6, 404);
+  auto big = WeightedCountAcq0<BigIntField>(q, db,
+                                            [](Value) { return BigInt(1); });
+  auto mod = WeightedCountAcq0<ModField<1000000007>>(
+      q, db, [](Value) { return uint64_t{1}; });
+  auto i64 = WeightedCountAcq0<Int64Field>(q, db,
+                                           [](Value) { return int64_t{1}; });
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(mod.ok());
+  ASSERT_TRUE(i64.ok());
+  EXPECT_EQ(big->ToInt64() % 1000000007, static_cast<int64_t>(*mod));
+  EXPECT_EQ(big->ToInt64(), *i64);
+}
+
+// ---- Star-size counting (Theorem 4.28) ----------------------------------------
+
+struct CountParam {
+  std::string query;
+  size_t tuples;
+  Value domain;
+  uint64_t seed;
+};
+
+void PrintTo(const CountParam& p, std::ostream* os) { *os << p.query; }
+
+class CountSweep : public ::testing::TestWithParam<CountParam> {};
+
+TEST_P(CountSweep, MatchesOracleCount) {
+  const CountParam& p = GetParam();
+  ConjunctiveQuery q = Q(p.query);
+  Database db = RandomDbFor(q, p.tuples, p.domain, p.seed);
+  auto fast = CountAcq(q, db);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  auto oracle = EvaluateBacktrack(q, db);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(fast->ToString(), std::to_string(oracle->NumTuples()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcyclicInstances, CountSweep,
+    ::testing::Values(
+        // Quantifier-free (pure DP).
+        CountParam{"Q(x, y) :- R(x, y).", 30, 6, 51},
+        CountParam{"Q(x, y, z) :- R(x, y), S(y, z).", 40, 5, 52},
+        CountParam{"Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d).", 40, 4, 53},
+        // Free-connex (star size 1).
+        CountParam{"Q(x) :- R(x, y).", 30, 6, 54},
+        CountParam{"Q(x, y) :- R(x, w), S(y, z), B(z).", 30, 5, 55},
+        // Star size 2: the matrix query.
+        CountParam{"Q(x, y) :- A(x, z), B(z, y).", 30, 5, 56},
+        // Star size 3.
+        CountParam{"Q(x1, x2, x3) :- E1(t, x1), E2(t, x2), E3(t, x3).", 25,
+                   5, 57},
+        // Mixed: component plus quantifier-free part.
+        CountParam{"Q(x, y) :- A(x, z), B(z), C(x, y).", 30, 5, 58},
+        // Boolean.
+        CountParam{"Q() :- R(x, y), S(y, z).", 10, 6, 59},
+        // Path with both ends free.
+        CountParam{"Q(x1, x4) :- E1(x1, x2), E2(x2, x3), E3(x3, x4).", 30, 4,
+                   60}));
+
+TEST(CountAcq, StarQueryAgainstOracleAcrossSizes) {
+  for (size_t s = 1; s <= 3; ++s) {
+    ConjunctiveQuery q = StarQuery(s);
+    Database db = RandomDbFor(q, 20, 5, 70 + s);
+    auto fast = CountAcq(q, db);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    auto oracle = EvaluateBacktrack(q, db);
+    EXPECT_EQ(fast->ToString(), std::to_string(oracle->NumTuples()))
+        << "star size " << s;
+  }
+}
+
+TEST(CountAcq, RejectsCyclic) {
+  Database db;
+  db.PutRelation(Relation("E", 2));
+  db.PutRelation(Relation("F", 2));
+  db.PutRelation(Relation("G", 2));
+  auto c = CountAcq(Q("Q() :- E(x, y), F(y, z), G(z, x)."), db);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(CountAnswers, FallsBackOnCyclicQueries) {
+  ConjunctiveQuery q = Q("Q() :- E(x, y), F(y, z), G(z, x).");
+  Database db = RandomDbFor(q, 15, 5, 81);
+  auto c = CountAnswers(q, db);
+  ASSERT_TRUE(c.ok()) << c.status();
+  auto oracle = EvaluateBacktrack(q, db);
+  EXPECT_EQ(c->ToString(), std::to_string(oracle->NumTuples()));
+}
+
+TEST(WeightedCountAcq, QuantifiedWeighted) {
+  // Q(x) :- E(x, y): weight of answer = w(x); sum over distinct x with a
+  // successor.
+  Database db;
+  Relation e("E", 2);
+  e.Add({0, 5});
+  e.Add({0, 6});
+  e.Add({2, 5});
+  db.PutRelation(e);
+  auto c = WeightedCountAcq(Q("Q(x) :- E(x, y)."), db,
+                            [](Value v) { return static_cast<double>(v + 1); });
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_DOUBLE_EQ(*c, 1.0 + 3.0);  // x = 0 and x = 2.
+}
+
+// ---- Equation (2): perfect matchings (Section 4.4) -----------------------------
+
+TEST(Matchings, RyserOnKnownGraphs) {
+  // Complete bipartite K3,3: 3! = 6 perfect matchings.
+  BipartiteGraph k33;
+  k33.adj.assign(3, std::vector<bool>(3, true));
+  EXPECT_EQ(CountPerfectMatchingsRyser(k33)->ToString(), "6");
+  // Identity matrix: exactly 1.
+  BipartiteGraph id;
+  id.adj.assign(4, std::vector<bool>(4, false));
+  for (int i = 0; i < 4; ++i) id.adj[static_cast<size_t>(i)][static_cast<size_t>(i)] = true;
+  EXPECT_EQ(CountPerfectMatchingsRyser(id)->ToString(), "1");
+  // No edges: 0.
+  BipartiteGraph none;
+  none.adj.assign(3, std::vector<bool>(3, false));
+  EXPECT_EQ(CountPerfectMatchingsRyser(none)->ToString(), "0");
+}
+
+TEST(Matchings, QueryIdentityMatchesRyser) {
+  Rng rng(31);
+  for (size_t n = 1; n <= 4; ++n) {
+    for (int trial = 0; trial < 3; ++trial) {
+      BipartiteGraph g = RandomBipartite(n, 2, &rng);
+      auto via_query = CountPerfectMatchingsViaQuery(g);
+      auto via_ryser = CountPerfectMatchingsRyser(g);
+      ASSERT_TRUE(via_query.ok()) << via_query.status();
+      ASSERT_TRUE(via_ryser.ok());
+      EXPECT_EQ(via_query->ToString(), via_ryser->ToString())
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Matchings, PsiHasStarSizeN) {
+  for (size_t n = 2; n <= 5; ++n) {
+    EXPECT_EQ(QuantifiedStarSize(BuildMatchingPsi(n)), n);
+    EXPECT_EQ(QuantifiedStarSize(BuildMatchingPhi(n)), 1u);
+  }
+}
+
+TEST(Matchings, RyserRejectsLargeN) {
+  BipartiteGraph g;
+  g.adj.assign(25, std::vector<bool>(25, true));
+  EXPECT_FALSE(CountPerfectMatchingsRyser(g).ok());
+}
+
+}  // namespace
+}  // namespace fgq

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "fgq/db/database.h"
+#include "fgq/db/index.h"
+#include "fgq/db/loader.h"
+#include "fgq/db/relation.h"
+#include "fgq/db/trie.h"
+#include "fgq/db/value.h"
+
+namespace fgq {
+namespace {
+
+Relation MakeEdges() {
+  Relation r("E", 2);
+  r.Add({1, 2});
+  r.Add({2, 3});
+  r.Add({1, 2});  // Duplicate.
+  r.Add({0, 1});
+  return r;
+}
+
+TEST(Relation, SortDedupEstablishesSetSemantics) {
+  Relation r = MakeEdges();
+  EXPECT_EQ(r.NumTuples(), 4u);
+  r.SortDedup();
+  ASSERT_EQ(r.NumTuples(), 3u);
+  EXPECT_EQ(r.Row(0)[0], 0);
+  EXPECT_EQ(r.Row(1)[0], 1);
+  EXPECT_EQ(r.Row(2)[0], 2);
+}
+
+TEST(Relation, ProjectDedups) {
+  Relation r = MakeEdges();
+  Relation p = r.Project({0}, "P");
+  ASSERT_EQ(p.arity(), 1u);
+  EXPECT_EQ(p.NumTuples(), 3u);  // {0, 1, 2}.
+}
+
+TEST(Relation, ProjectCanRepeatAndReorderColumns) {
+  Relation r("R", 2);
+  r.Add({7, 8});
+  Relation p = r.Project({1, 0, 1}, "P");
+  ASSERT_EQ(p.NumTuples(), 1u);
+  EXPECT_EQ(p.Row(0)[0], 8);
+  EXPECT_EQ(p.Row(0)[1], 7);
+  EXPECT_EQ(p.Row(0)[2], 8);
+}
+
+TEST(Relation, ProjectToNullary) {
+  Relation r = MakeEdges();
+  Relation p = r.Project({}, "B");
+  EXPECT_EQ(p.arity(), 0u);
+  EXPECT_EQ(p.NumTuples(), 1u);  // "true".
+  Relation empty("X", 2);
+  EXPECT_EQ(empty.Project({}, "B").NumTuples(), 0u);
+}
+
+TEST(Relation, FilterKeepsMatching) {
+  Relation r = MakeEdges();
+  r.Filter([](TupleView t) { return t[0] == 1; });
+  EXPECT_EQ(r.NumTuples(), 2u);
+}
+
+TEST(Relation, SortByColumnOrder) {
+  Relation r("R", 2);
+  r.Add({1, 9});
+  r.Add({2, 3});
+  r.Add({3, 5});
+  r.SortBy({1});
+  EXPECT_EQ(r.Row(0)[1], 3);
+  EXPECT_EQ(r.Row(1)[1], 5);
+  EXPECT_EQ(r.Row(2)[1], 9);
+}
+
+TEST(Relation, ContainsAndMax) {
+  Relation r = MakeEdges();
+  EXPECT_TRUE(r.Contains({2, 3}));
+  EXPECT_FALSE(r.Contains({3, 2}));
+  EXPECT_EQ(r.MaxValue(), 3);
+  EXPECT_EQ(Relation("X", 2).MaxValue(), -1);
+}
+
+TEST(Relation, NullaryRelation) {
+  Relation b("B", 0);
+  EXPECT_TRUE(b.empty());
+  b.AddNullary();
+  EXPECT_EQ(b.NumTuples(), 1u);
+  EXPECT_TRUE(b.Contains({}));
+  b.Filter([](TupleView) { return false; });
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Relation, SizeWeight) {
+  Relation r = MakeEdges();
+  r.SortDedup();
+  EXPECT_EQ(r.SizeWeight(), 6u);  // 3 tuples * arity 2.
+}
+
+TEST(Database, AddAndFind) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(MakeEdges()).ok());
+  EXPECT_FALSE(db.AddRelation(MakeEdges()).ok());  // AlreadyExists.
+  ASSERT_TRUE(db.Find("E").ok());
+  EXPECT_EQ(db.Find("E").value()->NumTuples(), 4u);
+  EXPECT_FALSE(db.Find("Nope").ok());
+  EXPECT_TRUE(db.Has("E"));
+}
+
+TEST(Database, DomainSizeFromDataAndDeclaration) {
+  Database db;
+  db.PutRelation(MakeEdges());
+  EXPECT_EQ(db.DomainSize(), 4);  // Max value 3.
+  db.DeclareDomainSize(10);
+  EXPECT_EQ(db.DomainSize(), 10);
+}
+
+TEST(Database, DegreeCountsTuplesPerElement) {
+  // Element 1 appears in tuples (1,2), (1,2)dup->once after nodedup... use
+  // fresh relation: degree counts tuple membership, repeated positions once.
+  Database db;
+  Relation r("R", 2);
+  r.Add({1, 2});
+  r.Add({1, 3});
+  r.Add({1, 1});  // Repeated position counts once.
+  db.PutRelation(std::move(r));
+  EXPECT_EQ(db.Degree(), 3u);  // Element 1 is in three tuples.
+}
+
+TEST(HashIndex, LookupByKeyColumns) {
+  Relation r = MakeEdges();
+  r.SortDedup();
+  HashIndex idx(r, {0});
+  EXPECT_EQ(idx.Lookup({1}).size(), 1u);
+  EXPECT_EQ(idx.Lookup({9}).size(), 0u);
+  EXPECT_TRUE(idx.ContainsKey({2}));
+  EXPECT_EQ(idx.NumKeys(), 3u);
+}
+
+TEST(HashIndex, EmptyKeyMatchesAllRows) {
+  Relation r = MakeEdges();
+  r.SortDedup();
+  HashIndex idx(r, {});
+  EXPECT_EQ(idx.Lookup({}).size(), 3u);
+}
+
+TEST(HashIndex, CompositeKey) {
+  Relation r("R", 3);
+  r.Add({1, 2, 3});
+  r.Add({1, 2, 4});
+  r.Add({1, 3, 5});
+  HashIndex idx(r, {0, 1});
+  EXPECT_EQ(idx.Lookup({1, 2}).size(), 2u);
+  EXPECT_EQ(idx.Lookup({1, 3}).size(), 1u);
+}
+
+TEST(Trie, LevelsAndLookup) {
+  Relation r("R", 2);
+  r.Add({1, 10});
+  r.Add({1, 11});
+  r.Add({2, 10});
+  Trie trie(r, {0, 1});
+  EXPECT_EQ(trie.depth(), 2u);
+  EXPECT_EQ(trie.Roots().size(), 2u);
+  const Trie::Node* one = trie.FindRoot(1);
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(trie.ChildEnd(0, *one) - trie.ChildBegin(0, *one), 2);
+  EXPECT_NE(trie.FindChild(0, *one, 11), nullptr);
+  EXPECT_EQ(trie.FindChild(0, *one, 12), nullptr);
+  EXPECT_EQ(trie.FindRoot(5), nullptr);
+  EXPECT_EQ(trie.NumLeaves(), 3u);
+}
+
+TEST(Trie, ReorderedColumnOrder) {
+  Relation r("R", 2);
+  r.Add({1, 10});
+  r.Add({2, 10});
+  r.Add({2, 11});
+  Trie trie(r, {1, 0});  // Keyed by second column first.
+  const Trie::Node* ten = trie.FindRoot(10);
+  ASSERT_NE(ten, nullptr);
+  EXPECT_EQ(trie.ChildEnd(0, *ten) - trie.ChildBegin(0, *ten), 2);
+}
+
+TEST(Trie, DedupsTuples) {
+  Relation r("R", 1);
+  r.Add({5});
+  r.Add({5});
+  Trie trie(r, {0});
+  EXPECT_EQ(trie.Roots().size(), 1u);
+}
+
+TEST(Dictionary, InternAndLookup) {
+  Dictionary d;
+  Value a = d.Intern("alice");
+  Value b = d.Intern("bob");
+  EXPECT_EQ(d.Intern("alice"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Lookup(a), "alice");
+  EXPECT_EQ(d.Find("carol"), kBottom);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Loader, ParsesFactsWithStringsAndInts) {
+  Database db;
+  Dictionary dict;
+  Status st = LoadFactsFromString(
+      "# comment line\n"
+      "Edge 1 2\n"
+      "Edge 2 3\n"
+      "Person alice 30\n"
+      "\n"
+      "Person bob 25\n",
+      &db, &dict);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(db.Find("Edge").value()->NumTuples(), 2u);
+  EXPECT_EQ(db.Find("Person").value()->NumTuples(), 2u);
+  EXPECT_EQ(dict.size(), 2u);  // alice, bob.
+}
+
+TEST(Loader, RejectsArityMismatch) {
+  Database db;
+  Dictionary dict;
+  Status st = LoadFactsFromString("R 1 2\nR 1 2 3\n", &db, &dict);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace fgq

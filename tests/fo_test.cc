@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fgq/fo/bounded_degree.h"
+#include "fgq/fo/naive_fo.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+Database TriangleAndPath() {
+  // 0-1-2 triangle, 3-4 pendant path.
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 4);
+  return GraphDatabase(g);
+}
+
+// ---- Naive FO evaluation (the ||D||^h baseline of Section 3) -------------------
+
+TEST(NaiveFo, ModelChecking) {
+  Database db = TriangleAndPath();
+  auto tri = ParseFoFormula(
+      "exists x. exists y. exists z. (E(x, y) & E(y, z) & E(z, x) & "
+      "x != y & y != z & x != z)");
+  ASSERT_TRUE(tri.ok());
+  EXPECT_TRUE(*ModelCheckFoNaive(**tri, db));
+
+  auto square = ParseFoFormula(
+      "exists a. exists b. exists c. exists d. (E(a, b) & E(b, c) & "
+      "E(c, d) & E(d, a) & a != c & b != d)");
+  ASSERT_TRUE(square.ok());
+  EXPECT_FALSE(*ModelCheckFoNaive(**square, db));
+}
+
+TEST(NaiveFo, UniversalQuantifier) {
+  Database db = TriangleAndPath();
+  // "Every vertex has a neighbor" — true here.
+  auto f = ParseFoFormula("forall x. exists y. E(x, y)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(*ModelCheckFoNaive(**f, db));
+  // "Every vertex neighbors vertex 0" — false.
+  auto g = ParseFoFormula("forall x. (x = 0 | E(x, 0))");
+  EXPECT_FALSE(*ModelCheckFoNaive(**g, db));
+}
+
+TEST(NaiveFo, AnswerSetEvaluation) {
+  Database db = TriangleAndPath();
+  // Vertices on a triangle.
+  auto f = ParseFoFormula(
+      "exists y. exists z. (E(x, y) & E(y, z) & E(z, x) & x != y & "
+      "y != z & x != z)");
+  ASSERT_TRUE(f.ok());
+  auto res = EvaluateFoNaive(**f, db, {"x"});
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->NumTuples(), 3u);  // 0, 1, 2.
+  auto cnt = CountFoNaive(**f, db, {"x"});
+  EXPECT_EQ(*cnt, 3);
+}
+
+TEST(NaiveFo, NegationAndEquality) {
+  Database db = TriangleAndPath();
+  // Isolated-from-0 vertices: no edge to 0 and not 0 itself.
+  auto f = ParseFoFormula("~E(x, 0) & x != 0");
+  ASSERT_TRUE(f.ok());
+  auto res = EvaluateFoNaive(**f, db, {"x"});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->NumTuples(), 2u);  // 3 and 4.
+}
+
+TEST(NaiveFo, RejectsSoAtoms) {
+  Database db = TriangleAndPath();
+  auto f = ParseFoFormula("X(x)", {"X"});
+  ASSERT_TRUE(f.ok());
+  auto res = EvaluateFoNaive(**f, db, {"x"});
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(NaiveFo, SentenceRejectsFreeVariables) {
+  Database db = TriangleAndPath();
+  auto f = ParseFoFormula("E(x, 0)");
+  EXPECT_FALSE(ModelCheckFoNaive(**f, db).ok());
+}
+
+// ---- Degree, adjacency, balls (Section 3.1) ------------------------------------
+
+TEST(Degree, StructureDegree) {
+  Database db = TriangleAndPath();
+  // Symmetric encoding: vertex 0 is in 4 tuples (0,1),(1,0),(0,2),(2,0).
+  EXPECT_EQ(db.Degree(), 4u);
+}
+
+TEST(AdjacencyIndex, NeighborsAndBalls) {
+  Database db = TriangleAndPath();
+  AdjacencyIndex adj(db);
+  EXPECT_EQ(adj.Neighbors(0).size(), 2u);
+  EXPECT_EQ(adj.Neighbors(3).size(), 1u);
+  std::vector<Value> ball0 = adj.Ball(0, 1);
+  EXPECT_EQ(ball0.size(), 3u);  // {0, 1, 2}.
+  std::vector<Value> ball3 = adj.Ball(3, 2);
+  EXPECT_EQ(ball3.size(), 2u);  // {3, 4}.
+  EXPECT_EQ(adj.Ball(0, 0).size(), 1u);
+}
+
+TEST(LowDegree, DefinitionCheck) {
+  Rng rng(41);
+  Graph sparse = RandomBoundedDegreeGraph(200, 3, &rng);
+  EXPECT_TRUE(IsLowDegree(GraphDatabase(sparse), 0.5));
+  // A clique has degree n-1 > n^0.5.
+  Graph clique(20);
+  for (int u = 0; u < 20; ++u) {
+    for (int v = u + 1; v < 20; ++v) clique.AddEdge(u, v);
+  }
+  EXPECT_FALSE(IsLowDegree(GraphDatabase(clique), 0.5));
+}
+
+// ---- Local query evaluation (Theorems 3.1/3.2) ----------------------------------
+
+TEST(LocalQuery, TriangleMembershipIsOneLocal) {
+  Database db = TriangleAndPath();
+  LocalQuery q;
+  q.var = "x";
+  q.radius = 1;
+  q.theta = std::move(ParseFoFormula(
+                  "exists y. exists z. (E(x, y) & E(y, z) & E(z, x) & "
+                  "x != y & y != z & x != z)"))
+                .value();
+  auto mc = ModelCheckExistsLocal(q, db);
+  ASSERT_TRUE(mc.ok()) << mc.status();
+  EXPECT_TRUE(*mc);
+  auto cnt = CountLocal(q, db);
+  EXPECT_EQ(*cnt, 3);
+  auto e = MakeLocalEnumerator(q, db);
+  ASSERT_TRUE(e.ok());
+  Tuple t;
+  std::set<Value> sat;
+  while ((*e)->Next(&t)) sat.insert(t[0]);
+  EXPECT_EQ(sat, (std::set<Value>{0, 1, 2}));
+}
+
+TEST(LocalQuery, BallRelativizationMatters) {
+  // "Some vertex is within distance 1 of everything in its ball" vs the
+  // naive global quantifier: build a star; the center's ball is the whole
+  // graph, a leaf's ball is just {leaf, center}.
+  Graph star(5);
+  for (int i = 1; i < 5; ++i) star.AddEdge(0, i);
+  Database db = GraphDatabase(star);
+  LocalQuery q;
+  q.var = "x";
+  q.radius = 1;
+  // "All ball members equal x or neighbor x" — true for every vertex at
+  // radius 1 (trivially), so count = 5.
+  q.theta = std::move(ParseFoFormula("forall y. (y = x | E(x, y))")).value();
+  EXPECT_EQ(*CountLocal(q, db), 5);
+  // Naive global evaluation of the same formula: only the center.
+  auto parsed = ParseFoFormula("forall y. (y = x | E(x, y))");
+  auto global = EvaluateFoNaive(**parsed, db, {"x"});
+  EXPECT_EQ(global->NumTuples(), 1u);
+}
+
+TEST(LocalQuery, AgreesWithNaiveOnRadiusCoveringGraph) {
+  // With radius >= diameter the relativized and global semantics agree on
+  // connected graphs.
+  Rng rng(43);
+  Graph g = RandomTree(12, &rng);
+  Database db = GraphDatabase(g);
+  LocalQuery q;
+  q.var = "x";
+  q.radius = 12;
+  q.theta =
+      std::move(ParseFoFormula(
+                    "exists y. (E(x, y) & exists z. (E(y, z) & z != x))"))
+          .value();
+  auto local_count = CountLocal(q, db);
+  ASSERT_TRUE(local_count.ok());
+  auto naive = CountFoNaive(*q.theta, db, {"x"});
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(*local_count, *naive);
+}
+
+// ---- Example 3.3 and Algorithm 1 ------------------------------------------------
+
+FunctionalStructure SmallFs() {
+  FunctionalStructure fs;
+  fs.psi = {true, true, false, true};  // psi = {0, 1, 3}.
+  fs.funcs = {
+      {1, 2, 3, 0},                                    // f0: rotation.
+      {0, 0, FunctionalStructure::kNoValue, 3},        // f1: partial.
+  };
+  return fs;
+}
+
+TEST(Example33, ExistsPsiAvoiding) {
+  FunctionalStructure fs = SmallFs();
+  // |psi| = 3. Exclusions {f0(0)} = {1}: 1 in psi -> 1 distinct -> 1 < 3.
+  EXPECT_TRUE(ExistsPsiAvoiding(fs, {0}, {0}));
+  // Exclude f0(0)=1, f0(3)=0, f1(3)=3: three distinct psi elements -> no
+  // psi element left.
+  EXPECT_FALSE(ExistsPsiAvoiding(fs, {0, 0, 1}, {0, 3, 3}));
+  // f1(2) undefined: contributes nothing.
+  EXPECT_TRUE(ExistsPsiAvoiding(fs, {1}, {2}));
+  // Excluding a non-psi element does not count: f0(1) = 2 not in psi.
+  EXPECT_TRUE(ExistsPsiAvoiding(fs, {0, 0, 0}, {1, 1, 1}));
+}
+
+TEST(Example33, MatchesBruteForceSemantics) {
+  FunctionalStructure fs = SmallFs();
+  Rng rng(44);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t k = 1 + rng.Below(3);
+    std::vector<size_t> ids;
+    std::vector<Value> args;
+    for (size_t i = 0; i < k; ++i) {
+      ids.push_back(rng.Below(2));
+      args.push_back(static_cast<Value>(rng.Below(4)));
+    }
+    bool brute = false;
+    for (Value y = 0; y < 4 && !brute; ++y) {
+      if (!fs.psi[static_cast<size_t>(y)]) continue;
+      bool ok = true;
+      for (size_t i = 0; i < k; ++i) {
+        if (fs.funcs[ids[i]][static_cast<size_t>(args[i])] == y) ok = false;
+      }
+      brute = ok;
+    }
+    EXPECT_EQ(ExistsPsiAvoiding(fs, ids, args), brute) << "trial " << trial;
+  }
+}
+
+TEST(Algorithm1, EnumeratesPairsMinusExceptions) {
+  std::vector<Value> lhs = {0, 1, 2};
+  std::vector<Value> rhs = {10, 11, 12, 13};
+  auto exclusions = [](Value a) -> std::vector<Value> {
+    if (a == 0) return {10};
+    if (a == 1) return {11, 13};
+    return {};
+  };
+  std::set<std::pair<Value, Value>> got;
+  int64_t n = EnumeratePairsWithExceptions(
+      lhs, rhs, exclusions,
+      [&](Value a, Value b) { got.insert({a, b}); });
+  EXPECT_EQ(n, 12 - 3);
+  EXPECT_EQ(got.size(), 9u);
+  EXPECT_FALSE(got.count({0, 10}));
+  EXPECT_FALSE(got.count({1, 11}));
+  EXPECT_TRUE(got.count({2, 10}));
+}
+
+}  // namespace
+}  // namespace fgq

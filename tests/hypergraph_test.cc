@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/hypergraph/star_size.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto r = ParseConjunctiveQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+// ---- Example 4.1 of the paper ------------------------------------------------
+
+TEST(Acyclicity, Example41PathIsAcyclic) {
+  EXPECT_TRUE(IsAcyclicQuery(Q("Q(x, y, z) :- E(x, y), F(y, z).")));
+}
+
+TEST(Acyclicity, Example41TriangleIsCyclic) {
+  EXPECT_FALSE(
+      IsAcyclicQuery(Q("Q(x, y, z) :- E(x, y), F(y, z), G(z, x).")));
+}
+
+TEST(Acyclicity, Example41TriangleWithCoverIsAcyclic) {
+  // Adding T(x,y,z) makes the triangle acyclic (join tree rooted at T).
+  EXPECT_TRUE(IsAcyclicQuery(
+      Q("Q(x, y, z) :- E(x, y), F(y, z), G(z, x), T(x, y, z).")));
+}
+
+TEST(Acyclicity, BiggerCyclesDetected) {
+  EXPECT_FALSE(IsAcyclicQuery(
+      Q("Q() :- A(x, y), B(y, z), C(z, w), D(w, x).")));
+}
+
+TEST(Acyclicity, SingleAtomAlwaysAcyclic) {
+  EXPECT_TRUE(IsAcyclicQuery(Q("Q(x) :- R(x, y, z).")));
+}
+
+TEST(JoinTree, ValidForFigure1Query) {
+  ConjunctiveQuery q = Figure1Query();
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  GyoResult gyo = GyoReduce(hg);
+  ASSERT_TRUE(gyo.acyclic);
+  EXPECT_TRUE(gyo.tree.IsValid(hg));
+  // All five atoms are nodes.
+  EXPECT_EQ(gyo.tree.TopDownOrder().size(), 5u);
+}
+
+TEST(JoinTree, ReRootPreservesValidity) {
+  ConjunctiveQuery q = Figure1Query();
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  GyoResult gyo = GyoReduce(hg);
+  ASSERT_TRUE(gyo.acyclic);
+  for (int e = 0; e < static_cast<int>(hg.NumEdges()); ++e) {
+    JoinTree t = gyo.tree;
+    t.ReRoot(e);
+    EXPECT_EQ(t.root, e);
+    EXPECT_TRUE(t.IsValid(hg)) << "re-rooted at " << e;
+  }
+}
+
+TEST(JoinTree, OrdersAreConsistent) {
+  ConjunctiveQuery q = Figure1Query();
+  GyoResult gyo = GyoReduce(Hypergraph::FromQuery(q));
+  std::vector<int> top = gyo.tree.TopDownOrder();
+  std::vector<int> bottom = gyo.tree.BottomUpOrder();
+  std::reverse(bottom.begin(), bottom.end());
+  EXPECT_EQ(top, bottom);
+  EXPECT_EQ(top[0], gyo.tree.root);
+}
+
+// ---- Free-connexity (Definition 4.4, Example 4.5) -----------------------------
+
+TEST(FreeConnex, Example45PositiveCase) {
+  EXPECT_TRUE(IsFreeConnex(Q("Q(x, y) :- E(x, w), F(y, z), B(z).")));
+}
+
+TEST(FreeConnex, MatrixQueryIsNotFreeConnex) {
+  ConjunctiveQuery pi = Q("Pi(x, y) :- A(x, z), B(z, y).");
+  EXPECT_TRUE(IsAcyclicQuery(pi));
+  EXPECT_FALSE(IsFreeConnex(pi));
+}
+
+TEST(FreeConnex, BooleanAndUnaryAreTriviallyFreeConnex) {
+  EXPECT_TRUE(IsFreeConnex(Q("Q() :- A(x, z), B(z, y).")));
+  EXPECT_TRUE(IsFreeConnex(Q("Q(x) :- A(x, z), B(z, y).")));
+}
+
+TEST(FreeConnex, QuantifierFreeIsFreeConnex) {
+  EXPECT_TRUE(IsFreeConnex(Q("Q(x, y, z) :- A(x, z), B(z, y).")));
+}
+
+TEST(FreeConnex, Figure1QueryIsFreeConnex) {
+  EXPECT_TRUE(IsFreeConnex(Figure1Query()));
+}
+
+TEST(FreeConnex, PathQueriesNotFreeConnexBeyondOneHop) {
+  EXPECT_TRUE(IsFreeConnex(PathQuery(1)));
+  EXPECT_FALSE(IsFreeConnex(PathQuery(2)));
+  EXPECT_FALSE(IsFreeConnex(PathQuery(3)));
+}
+
+// ---- Beta-acyclicity (Definition 4.29) ----------------------------------------
+
+TEST(BetaAcyclicity, ChainIsBetaAcyclic) {
+  BetaResult r = BetaAcyclicity(
+      Hypergraph::FromQuery(Q("Q() :- A(x, y), B(y, z), C(z, w).")));
+  EXPECT_TRUE(r.beta_acyclic);
+  EXPECT_EQ(r.elimination_order.size(), 4u);
+}
+
+TEST(BetaAcyclicity, TriangleIsNotBetaAcyclic) {
+  EXPECT_FALSE(IsBetaAcyclicQuery(Q("Q() :- A(x, y), B(y, z), C(z, x).")));
+}
+
+TEST(BetaAcyclicity, AlphaButNotBeta) {
+  // Triangle plus covering edge: alpha-acyclic, but the triangle
+  // subhypergraph is cyclic, so not beta-acyclic.
+  ConjunctiveQuery q =
+      Q("Q() :- A(x, y), B(y, z), C(z, x), T(x, y, z).");
+  EXPECT_TRUE(IsAcyclicQuery(q));
+  EXPECT_FALSE(IsBetaAcyclicQuery(q));
+}
+
+TEST(BetaAcyclicity, NestedAtomsAreBetaAcyclic) {
+  EXPECT_TRUE(IsBetaAcyclicQuery(
+      Q("Q() :- A(x), B(x, y), C(x, y, z).")));
+}
+
+// ---- S-components and star size (Figures 2/3, Definitions 4.23-4.26) ---------
+
+/// The hypergraph of Figure 2: S = {y1..y7} free, x1..x9 quantified.
+/// Edges reconstructed from Figure 3's three components:
+///   left component:    {x1, y1, y2} (x1 connecting y1, y2), {x2, y2}?
+/// The figure gives: component 1 = {y1,y2} with x1, x2, x3;
+/// central (yellow) component with y3, y5, y6 independent; right with y6,y7.
+/// We reproduce the *quantitative* claims: three S-components and star
+/// size 3 with witness {y3, y5, y6}.
+ConjunctiveQuery Figure2Query() {
+  // A faithful reconstruction matching Figure 3's decomposition:
+  // Component A: edges {y1,x1},{x1,y2},{y2,x2},{x2,x1},{x3,y1}
+  // Component B: edges {y3,x6},{x6,x7},{x7,y4},{x4,y3,y5},{x4,x8}?,{x8,y6}
+  // Component C: edges {x5,y6},{x5,y7},{x9,y7}
+  // plus constraints keeping it acyclic are not required for
+  // S-component computation (star size is defined on any hypergraph).
+  ConjunctiveQuery q("fig2", {"y1", "y2", "y3", "y4", "y5", "y6", "y7"}, {});
+  auto add = [&q](const std::string& rel,
+                  const std::vector<std::string>& vars) {
+    Atom a;
+    a.relation = rel;
+    for (const std::string& v : vars) a.args.push_back(Term::Var(v));
+    q.AddAtom(std::move(a));
+  };
+  // Component A: {y1, y2} through the connected block x1 - x2 - x3.
+  add("A1", {"x1", "y1"});
+  add("A2", {"x1", "x2", "y2"});
+  add("A3", {"x2", "x3"});
+  add("A4", {"x3", "y1", "y2"});
+  // Component B (the central one): S-vertices y3, y4, y5, y6 reached
+  // through the connected block x6 - x7 - x4 - x8; y4 and y5 share an
+  // edge, so the maximum independent set is {y3, y5, y6} of size 3.
+  add("B1", {"x6", "y3"});
+  add("B2", {"x6", "x7"});
+  add("B3", {"x7", "x4"});
+  add("B4", {"x4", "y4", "y5"});
+  add("B5", {"x4", "x8"});
+  add("B6", {"x8", "y6"});
+  // Component C: y6 and y7 again, through the block x5 - x9.
+  add("C1", {"x5", "y6"});
+  add("C2", {"x5", "y7"});
+  add("C3", {"x5", "x9"});
+  add("C4", {"x9", "y7"});
+  return q;
+}
+
+TEST(SComponents, Figure2HasThreeComponents) {
+  ConjunctiveQuery q = Figure2Query();
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  std::vector<int> s;
+  for (const std::string& v : q.head()) s.push_back(hg.FindVertex(v));
+  std::vector<SComponent> comps = DecomposeSComponents(hg, s);
+  EXPECT_EQ(comps.size(), 3u);
+}
+
+TEST(SComponents, Figure2StarSizeIsThree) {
+  // The central component contains the independent set {y3, y5, y6}.
+  EXPECT_EQ(QuantifiedStarSize(Figure2Query()), 3u);
+}
+
+TEST(StarSize, FreeConnexHasStarSizeOne) {
+  EXPECT_EQ(QuantifiedStarSize(Q("Q(x) :- A(x, z), B(z, y).")), 1u);
+  EXPECT_EQ(QuantifiedStarSize(Figure1Query()), 1u);
+}
+
+TEST(StarSize, StarQueryHasStarSizeEqualToArity) {
+  for (size_t s = 1; s <= 5; ++s) {
+    EXPECT_EQ(QuantifiedStarSize(StarQuery(s)), std::max<size_t>(1, s));
+  }
+}
+
+TEST(StarSize, MatrixQueryHasStarSizeTwo) {
+  // Pi(x,y): one S-component around z containing both free variables,
+  // which are non-adjacent: star size 2.
+  EXPECT_EQ(QuantifiedStarSize(Q("Pi(x, y) :- A(x, z), B(z, y).")), 2u);
+}
+
+TEST(StarSize, QuantifierFreeQueryHasStarSizeOne) {
+  EXPECT_EQ(QuantifiedStarSize(Q("Q(x, y) :- A(x, y).")), 1u);
+}
+
+TEST(MaxIndependentSet, SmallCases) {
+  Hypergraph hg;
+  int a = hg.AddVertex("a");
+  int b = hg.AddVertex("b");
+  int c = hg.AddVertex("c");
+  int e1 = hg.AddEdge({a, b});
+  int e2 = hg.AddEdge({b, c});
+  EXPECT_EQ(MaxIndependentSetSize(hg, {a, b, c}, {e1, e2}), 2u);  // {a, c}.
+  EXPECT_EQ(MaxIndependentSetSize(hg, {a, b}, {e1}), 1u);
+  EXPECT_EQ(MaxIndependentSetSize(hg, {}, {e1}), 0u);
+}
+
+TEST(Hypergraph, AdjacencyAndSubset) {
+  Hypergraph hg;
+  int a = hg.AddVertex("a");
+  int b = hg.AddVertex("b");
+  int c = hg.AddVertex("c");
+  int e1 = hg.AddEdge({a, b, c});
+  int e2 = hg.AddEdge({a, b});
+  EXPECT_TRUE(hg.EdgeSubset(e2, e1));
+  EXPECT_FALSE(hg.EdgeSubset(e1, e2));
+  EXPECT_TRUE(hg.Adjacent(a, c));
+  int d = hg.AddVertex("d");
+  EXPECT_FALSE(hg.Adjacent(a, d));
+}
+
+TEST(Hypergraph, FromQueryUsesDistinctVariables) {
+  // R(x, x, y) contributes the edge {x, y}.
+  ConjunctiveQuery q = Q("Q(x, y) :- R(x, x, y).");
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  EXPECT_EQ(hg.NumEdges(), 1u);
+  EXPECT_EQ(hg.Edge(0).size(), 2u);
+}
+
+TEST(Gyo, EmptyAndSingleEdgeGraphs) {
+  Hypergraph empty;
+  EXPECT_TRUE(GyoReduce(empty).acyclic);
+  Hypergraph single;
+  single.AddEdgeByNames({"x", "y"});
+  GyoResult r = GyoReduce(single);
+  EXPECT_TRUE(r.acyclic);
+  EXPECT_EQ(r.tree.root, 0);
+}
+
+}  // namespace
+}  // namespace fgq

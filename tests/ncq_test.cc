@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fgq/eval/clique_gadget.h"
+#include "fgq/eval/ncq.h"
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto r = ParseConjunctiveQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+TEST(Ncq, SatClauseSemantics) {
+  // The paper's example: a clause as a negative atom. Domain {0,1},
+  // R = {(0,0,0,0,1,1)}: the query not R(x1..x6) is satisfiable (any
+  // other assignment works).
+  Database db;
+  Relation r("R", 6);
+  r.Add({0, 0, 0, 0, 1, 1});
+  db.PutRelation(r);
+  db.DeclareDomainSize(2);
+  ConjunctiveQuery q = Q("Q() :- not R(x1, x2, x3, x4, x5, x6).");
+  auto fast = DecideBetaAcyclicNcq(q, db);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  EXPECT_TRUE(*fast);
+}
+
+TEST(Ncq, FullyForbiddenDomainIsFalse) {
+  Database db;
+  Relation r("R", 1);
+  r.Add({0});
+  r.Add({1});
+  db.PutRelation(r);
+  db.DeclareDomainSize(2);
+  auto v = DecideBetaAcyclicNcq(Q("Q() :- not R(x)."), db);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(*v);
+}
+
+TEST(Ncq, GroundNegatedAtomFalsifies) {
+  Database db;
+  Relation r("R", 1);
+  r.Add({3});
+  db.PutRelation(r);
+  db.DeclareDomainSize(5);
+  auto v = DecideBetaAcyclicNcq(Q("Q() :- not R(3), not S(x)."), db);
+  // R(3) holds, so not R(3) is false regardless of x.
+  Database db2 = db;
+  db2.PutRelation(Relation("S", 1));
+  auto v2 = DecideBetaAcyclicNcq(Q("Q() :- not R(3), not S(x)."), db2);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_FALSE(*v2);
+}
+
+TEST(Ncq, ChainResolutionPropagates) {
+  // Domain {0,1}; constraints force x = 1 (not R1(0)-style) transitively.
+  Database db;
+  Relation r1("R1", 1);
+  r1.Add({0});  // x != 0 -> x = 1.
+  Relation r2("R2", 2);
+  r2.Add({1, 0});  // (x,y) != (1,0): with x=1 forces y=1.
+  Relation r3("R3", 2);
+  r3.Add({1, 1});
+  r3.Add({1, 0});  // With y=1: (y,z) != (1,1),(1,0): no z left -> false.
+  db.PutRelation(r1);
+  db.PutRelation(r2);
+  db.PutRelation(r3);
+  db.DeclareDomainSize(2);
+  ConjunctiveQuery q =
+      Q("Q() :- not R1(x), not R2(x, y), not R3(y, z).");
+  auto fast = DecideBetaAcyclicNcq(q, db);
+  auto brute = DecideNcqBruteForce(q, db);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(*fast, *brute);
+  EXPECT_FALSE(*fast);
+}
+
+TEST(Ncq, RejectsNonBetaAcyclic) {
+  Database db;
+  db.PutRelation(Relation("A", 2));
+  db.PutRelation(Relation("B", 2));
+  db.PutRelation(Relation("C", 2));
+  db.DeclareDomainSize(2);
+  auto v = DecideBetaAcyclicNcq(
+      Q("Q() :- not A(x, y), not B(y, z), not C(z, x)."), db);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Ncq, RejectsPositiveAtoms) {
+  Database db;
+  db.PutRelation(Relation("A", 1));
+  auto v = DecideBetaAcyclicNcq(Q("Q() :- A(x)."), db);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(Ncq, RejectsNonBoolean) {
+  Database db;
+  db.PutRelation(Relation("A", 1));
+  auto v = DecideBetaAcyclicNcq(Q("Q(x) :- not A(x)."), db);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(Ncq, NestedScopesChain) {
+  // Beta-acyclic with properly nested scopes A(x) ⊆ B(x,y) ⊆ C(x,y,z).
+  Database db;
+  Relation a("A", 1), b("B", 2), c("C", 3);
+  a.Add({0});
+  b.Add({1, 0});
+  b.Add({1, 1});
+  c.Add({1, 2, 0});
+  db.PutRelation(a);
+  db.PutRelation(b);
+  db.PutRelation(c);
+  db.DeclareDomainSize(3);
+  ConjunctiveQuery q = Q("Q() :- not A(x), not B(x, y), not C(x, y, z).");
+  auto fast = DecideBetaAcyclicNcq(q, db);
+  auto brute = DecideNcqBruteForce(q, db);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  EXPECT_EQ(*fast, *brute);
+}
+
+// ---- Randomized agreement with brute force ------------------------------------
+
+struct NcqParam {
+  size_t vars;
+  size_t tuples;
+  Value domain;
+  uint64_t seed;
+};
+
+void PrintTo(const NcqParam& p, std::ostream* os) {
+  *os << "vars=" << p.vars << " tuples=" << p.tuples << " dom=" << p.domain
+      << " seed=" << p.seed;
+}
+
+class NcqSweep : public ::testing::TestWithParam<NcqParam> {};
+
+TEST_P(NcqSweep, ChainAgreesWithBruteForce) {
+  const NcqParam& p = GetParam();
+  Rng rng(p.seed);
+  Database db;
+  ConjunctiveQuery q =
+      RandomChainNcq(p.vars, p.tuples, p.domain, &db, &rng);
+  auto fast = DecideBetaAcyclicNcq(q, db);
+  auto brute = DecideNcqBruteForce(q, db);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(*fast, *brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomChains, NcqSweep,
+    ::testing::Values(
+        // Dense constraints over a tiny domain: unsatisfiable cases arise.
+        NcqParam{3, 3, 2, 1}, NcqParam{3, 4, 2, 2}, NcqParam{4, 4, 2, 3},
+        NcqParam{4, 3, 2, 4}, NcqParam{4, 4, 2, 5}, NcqParam{5, 4, 2, 6},
+        NcqParam{3, 8, 3, 7}, NcqParam{4, 9, 3, 8}, NcqParam{4, 8, 3, 9},
+        NcqParam{5, 9, 3, 10}, NcqParam{3, 15, 4, 11}, NcqParam{4, 14, 4, 12},
+        NcqParam{5, 16, 4, 13}, NcqParam{5, 2, 2, 14}, NcqParam{6, 4, 2, 15},
+        NcqParam{6, 9, 3, 16}));
+
+TEST(Ncq, RandomNestedScopesAgainstBruteForce) {
+  // Nested-scope queries: not A(x, y), not B(x, y, z) — exercises the
+  // multi-level chain path of the elimination.
+  Rng rng(55);
+  for (int trial = 0; trial < 12; ++trial) {
+    Database db;
+    db.PutRelation(RandomRelation("A", 2, 3 + rng.Below(4), 2, &rng));
+    db.PutRelation(RandomRelation("B", 3, 4 + rng.Below(5), 2, &rng));
+    db.DeclareDomainSize(2);
+    ConjunctiveQuery q = Q("Q() :- not A(x, y), not B(x, y, z).");
+    auto fast = DecideBetaAcyclicNcq(q, db);
+    auto brute = DecideNcqBruteForce(q, db);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    EXPECT_EQ(*fast, *brute) << "trial " << trial;
+  }
+}
+
+
+// ---- The Triangle reduction (hardness side of Theorem 4.31) --------------------
+
+TEST(TriangleNcqTest, QueryIsCyclicAndRejectedByFastDecider) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  TriangleNcq t = BuildTriangleNcq(g);
+  EXPECT_FALSE(IsBetaAcyclicQuery(t.query));
+  auto fast = DecideBetaAcyclicNcq(t.query, t.db);
+  EXPECT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TriangleNcqTest, DecisionEqualsTriangleExistence) {
+  Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGraph(6, static_cast<int>(rng.Below(10)), &rng);
+    TriangleNcq t = BuildTriangleNcq(g);
+    auto decided = DecideNcqBruteForce(t.query, t.db);
+    ASSERT_TRUE(decided.ok()) << decided.status();
+    EXPECT_EQ(*decided, HasClique(g, 3)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fgq
+

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "fgq/query/cq.h"
+#include "fgq/query/fo.h"
+#include "fgq/query/parser.h"
+
+namespace fgq {
+namespace {
+
+TEST(ParserCq, BasicRule) {
+  auto r = ParseConjunctiveQuery("Q(x, y) :- R(x, z), S(z, y).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ConjunctiveQuery& q = *r;
+  EXPECT_EQ(q.name(), "Q");
+  EXPECT_EQ(q.arity(), 2u);
+  ASSERT_EQ(q.atoms().size(), 2u);
+  EXPECT_EQ(q.atoms()[0].relation, "R");
+  EXPECT_EQ(q.Variables(), (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(q.ExistentialVariables(), (std::vector<std::string>{"z"}));
+}
+
+TEST(ParserCq, ConstantsAndNegationAndComparisons) {
+  auto r = ParseConjunctiveQuery(
+      "Q(x) :- R(x, 5), not T(x), x != y, S(y), y < x, x <= y.");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ConjunctiveQuery& q = *r;
+  EXPECT_FALSE(q.atoms()[0].args[1].is_var());
+  EXPECT_EQ(q.atoms()[0].args[1].constant, 5);
+  EXPECT_TRUE(q.atoms()[1].negated);
+  ASSERT_EQ(q.comparisons().size(), 3u);
+  EXPECT_EQ(q.comparisons()[0].op, Comparison::Op::kNotEqual);
+  EXPECT_EQ(q.comparisons()[1].op, Comparison::Op::kLess);
+  EXPECT_EQ(q.comparisons()[2].op, Comparison::Op::kLessEq);
+  EXPECT_TRUE(q.HasNegation());
+  EXPECT_FALSE(q.IsNegative());
+}
+
+TEST(ParserCq, BooleanQuery) {
+  auto r = ParseConjunctiveQuery("Q() :- R(x, y).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsBoolean());
+}
+
+TEST(ParserCq, NegativeNumbersAreConstants) {
+  auto r = ParseConjunctiveQuery("Q(x) :- R(x, -3).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->atoms()[0].args[1].constant, -3);
+}
+
+TEST(ParserCq, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x) :- R(x). extra").ok());
+}
+
+TEST(ParserCq, RejectsHeadVarNotInBody) {
+  auto r = ParseConjunctiveQuery("Q(w) :- R(x, y).");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserCq, RejectsDuplicateHeadVar) {
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x, x) :- R(x, y).").ok());
+}
+
+TEST(ParserCq, RejectsComparisonOnUnboundVar) {
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x) :- R(x, y), x != w.").ok());
+}
+
+TEST(ParserCq, ToStringRoundTrips) {
+  std::string text = "Q(x, y) :- R(x, z), not T(z), S(z, y), x != y.";
+  auto q1 = ParseConjunctiveQuery(text);
+  ASSERT_TRUE(q1.ok());
+  auto q2 = ParseConjunctiveQuery(q1->ToString());
+  ASSERT_TRUE(q2.ok()) << q1->ToString();
+  EXPECT_EQ(q1->ToString(), q2->ToString());
+}
+
+TEST(ParserUcq, MultipleRules) {
+  auto r = ParseUnionQuery(
+      "Q(x, y) :- R(x, z), S(z, y).\n"
+      "Q(a, b) :- T(a, b).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->disjuncts.size(), 2u);
+  EXPECT_EQ(r->arity(), 2u);
+}
+
+TEST(ParserUcq, RejectsArityMismatch) {
+  EXPECT_FALSE(ParseUnionQuery("Q(x) :- R(x).\nQ(x, y) :- S(x, y).").ok());
+}
+
+TEST(SelfJoinFree, DetectsRepeatedSymbols) {
+  auto q1 = ParseConjunctiveQuery("Q(x) :- R(x, y), S(y).");
+  EXPECT_TRUE(q1->IsSelfJoinFree());
+  auto q2 = ParseConjunctiveQuery("Q(x) :- R(x, y), R(y, x).");
+  EXPECT_FALSE(q2->IsSelfJoinFree());
+}
+
+// ---- FO parsing -------------------------------------------------------------
+
+TEST(ParserFo, QuantifiersAndConnectives) {
+  auto r = ParseFoFormula("exists z. (A(x, z) & B(z, y)) | x < y");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const FoFormula& f = **r;
+  EXPECT_EQ(f.kind(), FoFormula::Kind::kOr);
+  EXPECT_EQ(f.FreeVariables(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(f.QuantifierDepth(), 1u);
+  EXPECT_FALSE(f.IsQuantifierFree());
+}
+
+TEST(ParserFo, SugarForNeqAndLeq) {
+  auto r = ParseFoFormula("x != y & x <= y");
+  ASSERT_TRUE(r.ok());
+  // ~(x = y) & (x < y | x = y)
+  EXPECT_EQ((*r)->children()[0]->kind(), FoFormula::Kind::kNot);
+  EXPECT_EQ((*r)->children()[1]->kind(), FoFormula::Kind::kOr);
+}
+
+TEST(ParserFo, SoVarsMarked) {
+  auto r = ParseFoFormula("T(x) & E(x, y)", {"T"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->children()[0]->is_so_atom());
+  EXPECT_FALSE((*r)->children()[1]->is_so_atom());
+  EXPECT_EQ((*r)->SecondOrderVariables(), (std::vector<std::string>{"T"}));
+}
+
+TEST(ParserFo, PrecedenceNotOverAndOverOr) {
+  auto r = ParseFoFormula("~A() & B() | C()");
+  ASSERT_TRUE(r.ok());
+  // ((~A & B) | C)
+  EXPECT_EQ((*r)->kind(), FoFormula::Kind::kOr);
+  EXPECT_EQ((*r)->children()[0]->kind(), FoFormula::Kind::kAnd);
+}
+
+TEST(ParserFo, QuantifierScopesGreedily) {
+  auto r = ParseFoFormula("exists x. E(x, y) & F(y)");
+  ASSERT_TRUE(r.ok());
+  // exists binds only the next unary formula: (exists x. E(x,y)) & F(y).
+  EXPECT_EQ((*r)->kind(), FoFormula::Kind::kAnd);
+}
+
+TEST(ParserFo, RejectsBadSyntax) {
+  EXPECT_FALSE(ParseFoFormula("exists . A(x)").ok());
+  EXPECT_FALSE(ParseFoFormula("A(x) &").ok());
+  EXPECT_FALSE(ParseFoFormula("A(x,)").ok());
+}
+
+TEST(FoFormula, FreeVariablesRespectBinding) {
+  auto r = ParseFoFormula("exists x. E(x, y) & E(x, z)");
+  ASSERT_TRUE(r.ok());
+  // First conjunct binds x; second atom's x is free (different scope).
+  EXPECT_EQ((*r)->FreeVariables(),
+            (std::vector<std::string>{"y", "x", "z"}));
+}
+
+TEST(FoFormula, MaxSubformulaFreeVars) {
+  auto r = ParseFoFormula("exists z. (A(x, z) & B(z, y))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->MaxSubformulaFreeVars(), 3u);  // Inner conjunction: x,z,y.
+}
+
+TEST(FoFormula, CloneIsDeepAndEqualText) {
+  auto r = ParseFoFormula("forall x. (E(x, x) | x = 0)");
+  ASSERT_TRUE(r.ok());
+  FoPtr copy = (*r)->Clone();
+  EXPECT_EQ(copy->ToString(), (*r)->ToString());
+}
+
+TEST(FoFormula, MakeExistsBlock) {
+  FoPtr atom = FoFormula::MakeAtom("R", {Term::Var("a"), Term::Var("b")});
+  FoPtr f = FoFormula::MakeExistsBlock({"a", "b"}, std::move(atom));
+  EXPECT_EQ(f->kind(), FoFormula::Kind::kExists);
+  EXPECT_EQ(f->quantified_var(), "a");
+  EXPECT_TRUE(f->FreeVariables().empty());
+}
+
+}  // namespace
+}  // namespace fgq

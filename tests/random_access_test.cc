@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fgq/eval/oracle.h"
+#include "fgq/eval/random_access.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto r = ParseConjunctiveQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Database RandomDbFor(const ConjunctiveQuery& q, size_t tuples, Value domain,
+                     uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  for (const Atom& a : q.atoms()) {
+    if (!db.Has(a.relation)) {
+      db.PutRelation(
+          RandomRelation(a.relation, a.arity(), tuples, domain, &rng));
+    }
+  }
+  db.DeclareDomainSize(domain);
+  return db;
+}
+
+TEST(RandomAccess, CountMatchesOracle) {
+  ConjunctiveQuery q = Q("Q(x, y) :- R(x, w), S(y, z), B(z).");
+  Database db = RandomDbFor(q, 30, 6, 201);
+  auto ra = BuildRandomAccess(q, db);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  auto oracle = EvaluateBacktrack(q, db);
+  EXPECT_EQ(static_cast<size_t>((*ra)->Count()), oracle->NumTuples());
+}
+
+TEST(RandomAccess, RanksCoverExactlyTheAnswerSet) {
+  ConjunctiveQuery q = Q("Q(x, y, z) :- R(x, y), S(y, z), T(z).");
+  Database db = RandomDbFor(q, 25, 5, 202);
+  auto ra = BuildRandomAccess(q, db);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  auto oracle = EvaluateBacktrack(q, db);
+  std::set<Tuple> seen;
+  for (int64_t j = 0; j < (*ra)->Count(); ++j) {
+    auto t = (*ra)->Answer(j);
+    ASSERT_TRUE(t.ok()) << t.status();
+    EXPECT_TRUE(oracle->Contains(*t)) << "rank " << j;
+    EXPECT_TRUE(seen.insert(*t).second) << "duplicate at rank " << j;
+  }
+  EXPECT_EQ(seen.size(), oracle->NumTuples());
+}
+
+TEST(RandomAccess, OutOfRangeRanksRejected) {
+  ConjunctiveQuery q = Q("Q(x) :- R(x, y).");
+  Database db = RandomDbFor(q, 10, 5, 203);
+  auto ra = BuildRandomAccess(q, db);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_FALSE((*ra)->Answer(-1).ok());
+  EXPECT_FALSE((*ra)->Answer((*ra)->Count()).ok());
+}
+
+TEST(RandomAccess, SamplingHitsOnlyAnswers) {
+  ConjunctiveQuery q = Q("Q(a, b) :- R(a, b), S(b).");
+  Database db = RandomDbFor(q, 20, 5, 204);
+  auto ra = BuildRandomAccess(q, db);
+  ASSERT_TRUE(ra.ok());
+  if ((*ra)->Count() == 0) GTEST_SKIP() << "empty instance";
+  auto oracle = EvaluateBacktrack(q, db);
+  Rng rng(205);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto t = (*ra)->Sample(&rng);
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE(oracle->Contains(*t));
+  }
+}
+
+TEST(RandomAccess, SamplingIsRoughlyUniform) {
+  // A fixed tiny instance with a known answer count; chi-square-lite.
+  Database db;
+  Relation r("R", 2);
+  for (Value i = 0; i < 4; ++i) {
+    for (Value j = 0; j < 4; ++j) r.Add({i, j});
+  }
+  db.PutRelation(r);
+  ConjunctiveQuery q = Q("Q(x, y) :- R(x, y).");
+  auto ra = BuildRandomAccess(q, db);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_EQ((*ra)->Count(), 16);
+  std::map<Tuple, int> hits;
+  Rng rng(206);
+  const int kTrials = 3200;
+  for (int t = 0; t < kTrials; ++t) {
+    hits[*(*ra)->Sample(&rng)]++;
+  }
+  EXPECT_EQ(hits.size(), 16u);
+  for (const auto& [t, c] : hits) {
+    EXPECT_GT(c, kTrials / 16 / 2);   // Within a factor 2 of uniform.
+    EXPECT_LT(c, kTrials / 16 * 2);
+  }
+}
+
+TEST(RandomAccess, EmptyAndBooleanQueries) {
+  Database db;
+  db.PutRelation(Relation("R", 2));
+  auto empty = BuildRandomAccess(Q("Q(x) :- R(x, y)."), db);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ((*empty)->Count(), 0);
+  Rng rng(1);
+  EXPECT_FALSE((*empty)->Sample(&rng).ok());
+
+  Relation r("R", 2);
+  r.Add({1, 2});
+  db.PutRelation(r);
+  auto boolean = BuildRandomAccess(Q("Q() :- R(x, y)."), db);
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_EQ((*boolean)->Count(), 1);
+  EXPECT_TRUE((*boolean)->Answer(0)->empty());
+}
+
+TEST(RandomAccess, RejectsNonFreeConnex) {
+  Database db;
+  db.PutRelation(Relation("A", 2));
+  db.PutRelation(Relation("B", 2));
+  auto ra = BuildRandomAccess(Q("Pi(x, y) :- A(x, z), B(z, y)."), db);
+  EXPECT_FALSE(ra.ok());
+}
+
+struct RaParam {
+  std::string query;
+  size_t tuples;
+  Value domain;
+  uint64_t seed;
+};
+
+void PrintTo(const RaParam& p, std::ostream* os) { *os << p.query; }
+
+class RandomAccessSweep : public ::testing::TestWithParam<RaParam> {};
+
+TEST_P(RandomAccessSweep, EveryRankDistinctAndValid) {
+  const RaParam& p = GetParam();
+  ConjunctiveQuery q = Q(p.query);
+  Database db = RandomDbFor(q, p.tuples, p.domain, p.seed);
+  auto ra = BuildRandomAccess(q, db);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  auto oracle = EvaluateBacktrack(q, db);
+  ASSERT_EQ(static_cast<size_t>((*ra)->Count()), oracle->NumTuples());
+  std::set<Tuple> seen;
+  for (int64_t j = 0; j < (*ra)->Count(); ++j) {
+    Tuple t = *(*ra)->Answer(j);
+    EXPECT_TRUE(oracle->Contains(t));
+    EXPECT_TRUE(seen.insert(t).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FreeConnexInstances, RandomAccessSweep,
+    ::testing::Values(
+        RaParam{"Q(x, y) :- R(x, y).", 25, 5, 211},
+        RaParam{"Q(x, y) :- R(x, y), S(y, z).", 30, 5, 212},
+        RaParam{"Q(x, y, z) :- R(x, y), S(y, z).", 25, 4, 213},
+        RaParam{"Q(x, y) :- R(x, w), S(y, z), B(z).", 25, 5, 214},
+        RaParam{"Q(u, v) :- A(u), B(v).", 12, 6, 215},
+        RaParam{"Q(a, b, c) :- R(a, b), S(b, c), T(c), U(a, b, c).", 40, 4,
+                216}));
+
+}  // namespace
+}  // namespace fgq

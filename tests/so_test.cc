@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "fgq/query/parser.h"
+#include "fgq/so/enum_so.h"
+#include "fgq/so/sigma_count.h"
+#include "fgq/so/so_query.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+/// A tiny database: unary D = {0,1,2}, binary E = {(0,1),(1,2)}.
+Database TinyDb() {
+  Database db;
+  Relation d("D", 1);
+  d.Add({0});
+  d.Add({1});
+  d.Add({2});
+  Relation e("E", 2);
+  e.Add({0, 1});
+  e.Add({1, 2});
+  db.PutRelation(d);
+  db.PutRelation(e);
+  db.DeclareDomainSize(3);
+  return db;
+}
+
+SoQuery MakeQuery(const std::string& text,
+                  const std::vector<SoVar>& so_vars,
+                  const std::vector<std::string>& fo_free = {}) {
+  std::set<std::string> names;
+  for (const SoVar& v : so_vars) names.insert(v.name);
+  auto f = ParseFoFormula(text, names);
+  EXPECT_TRUE(f.ok()) << f.status();
+  SoQuery q;
+  q.formula = std::move(*f);
+  q.so_vars = so_vars;
+  q.fo_free = fo_free;
+  return q;
+}
+
+// ---- SlotSpace -------------------------------------------------------------------
+
+TEST(SlotSpace, NumberingRoundTrips) {
+  auto space = SlotSpace::Create({{"X", 1}, {"Y", 2}}, 3);
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->total_slots(), 3u + 9u);
+  std::set<uint64_t> seen;
+  for (Value a = 0; a < 3; ++a) {
+    seen.insert(space->SlotOf(0, {a}));
+    for (Value b = 0; b < 3; ++b) {
+      seen.insert(space->SlotOf(1, {a, b}));
+    }
+  }
+  EXPECT_EQ(seen.size(), 12u);
+  size_t var;
+  std::vector<Value> tuple;
+  space->Decode(space->SlotOf(1, {2, 1}), &var, &tuple);
+  EXPECT_EQ(var, 1u);
+  EXPECT_EQ(tuple, (std::vector<Value>{2, 1}));
+}
+
+TEST(SlotSpace, RejectsHugeSpaces) {
+  EXPECT_FALSE(SlotSpace::Create({{"X", 9}}, 1000000).ok());
+}
+
+// ---- #Sigma0 (Theorem 5.3) --------------------------------------------------------
+
+TEST(CountSigma0, UnconstrainedVariableCountsPowerSet) {
+  Database db = TinyDb();
+  // "true" with one unary SO var: 2^3 assignments.
+  SoQuery q = MakeQuery("true", {{"X", 1}});
+  EXPECT_EQ(CountSigma0(q, db)->ToString(), "8");
+}
+
+TEST(CountSigma0, SingleMembershipAtom) {
+  Database db = TinyDb();
+  // X(0): half the assignments.
+  SoQuery q = MakeQuery("X(0)", {{"X", 1}});
+  EXPECT_EQ(CountSigma0(q, db)->ToString(), "4");
+  // X(0) & ~X(1): a quarter.
+  SoQuery q2 = MakeQuery("X(0) & ~X(1)", {{"X", 1}});
+  EXPECT_EQ(CountSigma0(q2, db)->ToString(), "2");
+}
+
+TEST(CountSigma0, WithFreeFoVariable) {
+  Database db = TinyDb();
+  // phi(x, X) = D(x) & X(x): for each of the 3 x's, half of 2^3.
+  SoQuery q = MakeQuery("D(x) & X(x)", {{"X", 1}}, {"x"});
+  EXPECT_EQ(CountSigma0(q, db)->ToString(), "12");
+}
+
+TEST(CountSigma0, BinarySoVariable) {
+  Database db = TinyDb();
+  // T(0, 1): half of 2^9.
+  SoQuery q = MakeQuery("T(0, 1)", {{"T", 2}});
+  EXPECT_EQ(CountSigma0(q, db)->ToString(), "256");
+}
+
+TEST(CountSigma0, BruteForceAgreementSweep) {
+  Database db = TinyDb();
+  // For several Sigma0 formulas, compare against enumeration of all 2^3
+  // unary SO assignments times FO values.
+  struct Case {
+    std::string text;
+    std::vector<std::string> fo;
+  };
+  for (const Case& c : {Case{"X(0) | X(1)", {}},
+                        Case{"X(0) & (~X(1) | X(2))", {}},
+                        Case{"D(x) & (X(x) | X(0))", {"x"}},
+                        Case{"E(x, y) & X(x) & ~X(y)", {"x", "y"}}}) {
+    SoQuery q = MakeQuery(c.text, {{"X", 1}}, c.fo);
+    auto fast = CountSigma0(q, db);
+    ASSERT_TRUE(fast.ok()) << fast.status() << " for " << c.text;
+    // Brute force.
+    FoEvalContext ctx(db);
+    auto space = SlotSpace::Create(q.so_vars, 3);
+    int64_t brute = 0;
+    std::vector<Value> fo_vals(c.fo.size(), 0);
+    while (true) {
+      std::map<std::string, Value> assignment;
+      for (size_t i = 0; i < c.fo.size(); ++i) assignment[c.fo[i]] = fo_vals[i];
+      for (uint64_t bits = 0; bits < 8; ++bits) {
+        std::map<uint64_t, bool> bm;
+        for (uint64_t s = 0; s < 3; ++s) bm[s] = (bits >> s) & 1;
+        auto v = EvalSigmaMatrix(*q.formula, q, ctx, *space, &assignment, bm);
+        ASSERT_TRUE(v.ok()) << v.status();
+        if (*v) ++brute;
+      }
+      size_t p = 0;
+      while (p < fo_vals.size() && ++fo_vals[p] == 3) {
+        fo_vals[p] = 0;
+        ++p;
+      }
+      if (p == fo_vals.size() || c.fo.empty()) break;
+    }
+    EXPECT_EQ(fast->ToString(), std::to_string(brute)) << c.text;
+  }
+}
+
+// ---- #Sigma1 and cubes -------------------------------------------------------------
+
+TEST(Sigma1, CubesAndBruteCount) {
+  Database db = TinyDb();
+  // exists x. D(x) & X(x): X's containing at least one element = 2^3 - 1.
+  SoQuery q = MakeQuery("exists x. (D(x) & X(x))", {{"X", 1}});
+  ASSERT_TRUE(q.IsSigma1());
+  EXPECT_FALSE(q.IsSigma0());
+  auto cubes = Sigma1Cubes(q, db);
+  ASSERT_TRUE(cubes.ok()) << cubes.status();
+  EXPECT_EQ(cubes->size(), 3u);  // One per witness x.
+  EXPECT_EQ(CountSigma1Brute(q, db)->ToString(), "7");
+}
+
+TEST(Sigma1, EdgeWitnessCount) {
+  Database db = TinyDb();
+  // exists x. exists y. E(x, y) & X(x) & ~X(y).
+  SoQuery q = MakeQuery("exists x. exists y. (E(x, y) & X(x) & ~X(y))",
+                        {{"X", 1}});
+  // Solutions: X with 0 in, 1 out => {0},{0,2}; or 1 in, 2 out => {1},{0,1}.
+  EXPECT_EQ(CountSigma1Brute(q, db)->ToString(), "4");
+}
+
+// ---- Example 5.1: #3DNF through #Sigma1 ---------------------------------------------
+
+/// Builds the sigma_3DNF structure A_phi for a 3DNF formula and the query
+/// Phi_0(T) of Example 5.1, then checks #Sigma1 equals #DNF.
+TEST(Sigma1, Example51ThreeDnf) {
+  // phi = (v0 & v1) | (~v1 & v2) over 3 variables, padded to 3 literals by
+  // repeating a literal: disjuncts (v0 & v1 & v1), (~v1 & v2 & v2).
+  DnfFormula dnf;
+  dnf.num_vars = 3;
+  dnf.clauses = {{1, 2, 2}, {-2, 3, 3}};
+
+  Database db;
+  Relation d0("D0", 3), d1("D1", 3), d2("D2", 3), d3("D3", 3);
+  // D_i(x1, x2, x3): first i literals negative, rest positive.
+  d0.Add({0, 1, 1});  // All-positive disjunct v0 & v1 & v1.
+  d1.Add({1, 2, 2});  // ~v1 & v2 & v2.
+  db.PutRelation(d0);
+  db.PutRelation(d1);
+  db.PutRelation(d2);
+  db.PutRelation(d3);
+  db.DeclareDomainSize(3);
+
+  SoQuery q = MakeQuery(
+      "exists x. exists y. exists z. ("
+      "(D0(x, y, z) & T(x) & T(y) & T(z)) | "
+      "(D1(x, y, z) & ~T(x) & T(y) & T(z)) | "
+      "(D2(x, y, z) & ~T(x) & ~T(y) & T(z)) | "
+      "(D3(x, y, z) & ~T(x) & ~T(y) & ~T(z)))",
+      {{"T", 1}});
+  auto via_query = CountSigma1Brute(q, db);
+  ASSERT_TRUE(via_query.ok()) << via_query.status();
+  auto direct = CountDnfExact(dnf);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_query->ToString(), direct->ToString());
+}
+
+// ---- #DNF exact and Karp-Luby FPRAS -------------------------------------------------
+
+TEST(Dnf, ExactCountsKnownFormulas) {
+  // x1 | ~x1 over 1 var: both assignments.
+  DnfFormula taut{1, {{1}, {-1}}};
+  EXPECT_EQ(CountDnfExact(taut)->ToString(), "2");
+  // Contradictory clause is dropped: (x1 & ~x1) -> 0 models.
+  DnfFormula contra{2, {{1, -1}}};
+  EXPECT_EQ(CountDnfExact(contra)->ToString(), "0");
+  // Single clause of width 2 over 4 vars: 2^2 completions.
+  DnfFormula one{4, {{1, -2}}};
+  EXPECT_EQ(CountDnfExact(one)->ToString(), "4");
+}
+
+TEST(Dnf, KarpLubyWithinEpsilon) {
+  Rng data_rng(71);
+  Rng kl_rng(72);
+  for (int trial = 0; trial < 5; ++trial) {
+    DnfFormula dnf = RandomDnf(14, 6, 3, &data_rng);
+    auto exact = CountDnfExact(dnf);
+    ASSERT_TRUE(exact.ok());
+    auto est = EstimateDnf(dnf, 0.1, &kl_rng);
+    ASSERT_TRUE(est.ok()) << est.status();
+    double ex = exact->ToDouble();
+    double es = est->ToDouble();
+    if (ex == 0) {
+      EXPECT_EQ(es, 0.0);
+    } else {
+      EXPECT_NEAR(es / ex, 1.0, 0.15) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Sigma1, FprasMatchesBruteCount) {
+  Database db = TinyDb();
+  SoQuery q = MakeQuery("exists x. (D(x) & X(x))", {{"X", 1}});
+  Rng rng(73);
+  auto est = EstimateSigma1(q, db, 0.05, &rng);
+  ASSERT_TRUE(est.ok()) << est.status();
+  double exact = CountSigma1Brute(q, db)->ToDouble();
+  EXPECT_NEAR(est->ToDouble() / exact, 1.0, 0.1);
+}
+
+TEST(UnionOfCubes, EstimatorHandlesSingleCube) {
+  Rng rng(74);
+  std::vector<Cube> cubes = {Cube{{{0, true}, {3, false}}}};
+  auto est = EstimateUnionOfCubes(cubes, 10, 0.05, &rng);
+  ASSERT_TRUE(est.ok());
+  // Exactly 2^8 = 256; a single cube has zero variance.
+  EXPECT_EQ(est->ToString(), "256");
+}
+
+// ---- Sigma0 Gray-code enumeration (Theorem 5.5) --------------------------------------
+
+TEST(GrayEnum, EnumeratesAllSolutionsOnceWithSingleBitDeltas) {
+  Database db = TinyDb();
+  SoQuery q = MakeQuery("X(0) | X(1)", {{"X", 1}});
+  CollectingVisitor visitor;
+  Status st = EnumerateSigma0GrayCode(q, db, &visitor);
+  ASSERT_TRUE(st.ok()) << st;
+  // Solutions distinct and complete.
+  std::set<std::vector<bool>> seen(visitor.solutions().begin(),
+                                   visitor.solutions().end());
+  EXPECT_EQ(seen.size(), visitor.solutions().size());
+  EXPECT_EQ(std::to_string(seen.size()), CountSigma0(q, db)->ToString());
+  for (const std::vector<bool>& s : seen) {
+    EXPECT_TRUE(s[0] || s[1]);
+  }
+}
+
+TEST(GrayEnum, ConsecutiveSolutionsWithinRunDifferByOneBit) {
+  Database db = TinyDb();
+  SoQuery q = MakeQuery("X(2)", {{"X", 1}});
+  CollectingVisitor visitor;
+  ASSERT_TRUE(EnumerateSigma0GrayCode(q, db, &visitor).ok());
+  const auto& sols = visitor.solutions();
+  ASSERT_EQ(sols.size(), 4u);  // X(2) fixed true, 2 free slots.
+  for (size_t i = 1; i < sols.size(); ++i) {
+    int diff = 0;
+    for (size_t b = 0; b < sols[i].size(); ++b) {
+      diff += sols[i][b] != sols[i - 1][b];
+    }
+    EXPECT_EQ(diff, 1) << "delta-constant violated at step " << i;
+  }
+}
+
+TEST(GrayEnum, RejectsFreeFoVariables) {
+  Database db = TinyDb();
+  SoQuery q = MakeQuery("D(x) & X(x)", {{"X", 1}}, {"x"});
+  CollectingVisitor visitor;
+  EXPECT_FALSE(EnumerateSigma0GrayCode(q, db, &visitor).ok());
+}
+
+// ---- Sigma1 flashlight enumeration (Theorem 5.5) -------------------------------------
+
+TEST(Flashlight, EnumeratesExactlyTheSolutions) {
+  Database db = TinyDb();
+  SoQuery q = MakeQuery("exists x. (D(x) & X(x))", {{"X", 1}});
+  std::set<std::vector<bool>> seen;
+  Status st = EnumerateSigma1Flashlight(
+      q, db, 0, [&](const std::vector<bool>& s) { seen.insert(s); });
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(std::to_string(seen.size()),
+            CountSigma1Brute(q, db)->ToString());
+  for (const std::vector<bool>& s : seen) {
+    EXPECT_TRUE(s[0] || s[1] || s[2]);
+  }
+}
+
+TEST(Flashlight, RespectsMaxSolutions) {
+  Database db = TinyDb();
+  SoQuery q = MakeQuery("exists x. (D(x) & X(x))", {{"X", 1}});
+  int count = 0;
+  ASSERT_TRUE(EnumerateSigma1Flashlight(
+                  q, db, 3, [&](const std::vector<bool>&) { ++count; })
+                  .ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Flashlight, EmptySolutionSet) {
+  Database db = TinyDb();
+  // X(x) & ~X(x) is unsatisfiable.
+  SoQuery q = MakeQuery("exists x. (D(x) & X(x) & ~X(x))", {{"X", 1}});
+  int count = 0;
+  ASSERT_TRUE(EnumerateSigma1Flashlight(
+                  q, db, 0, [&](const std::vector<bool>&) { ++count; })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace fgq

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "fgq/eval/oracle.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/query/parser.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto r = ParseConjunctiveQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+std::string Key(const Relation& r) {
+  std::string s = std::to_string(r.NumTuples()) + ":";
+  for (size_t i = 0; i < r.NumTuples(); ++i) {
+    for (size_t j = 0; j < r.arity(); ++j) {
+      s += std::to_string(r.Row(i)[j]) + ",";
+    }
+    s += ";";
+  }
+  return s;
+}
+
+/// Asserts that two relations hold the same tuple set.
+void ExpectSameAnswers(Relation a, Relation b) {
+  a.SortDedup();
+  b.SortDedup();
+  ASSERT_EQ(a.arity(), b.arity());
+  EXPECT_EQ(Key(a), Key(b));
+}
+
+TEST(Yannakakis, SimplePathJoin) {
+  Database db;
+  Relation e("E", 2);
+  e.Add({1, 2});
+  e.Add({2, 3});
+  e.Add({3, 4});
+  db.PutRelation(e);
+  Relation f = e;
+  f.set_name("F");
+  db.PutRelation(f);
+  auto res = EvaluateYannakakis(Q("Q(x, z) :- E(x, y), F(y, z)."), db);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->NumTuples(), 2u);  // (1,3), (2,4).
+  EXPECT_TRUE(res->Contains({1, 3}));
+  EXPECT_TRUE(res->Contains({2, 4}));
+}
+
+TEST(Yannakakis, BooleanQueryTrueAndFalse) {
+  Database db;
+  Relation e("E", 2);
+  e.Add({1, 2});
+  db.PutRelation(e);
+  Relation f("F", 2);
+  db.PutRelation(f);
+  auto t = EvaluateBooleanAcq(Q("Q() :- E(x, y)."), db);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t);
+  auto fr = EvaluateBooleanAcq(Q("Q() :- E(x, y), F(y, z)."), db);
+  ASSERT_TRUE(fr.ok());
+  EXPECT_FALSE(*fr);
+}
+
+TEST(Yannakakis, ConstantsFilterRows) {
+  Database db;
+  Relation e("E", 2);
+  e.Add({1, 2});
+  e.Add({1, 3});
+  e.Add({2, 3});
+  db.PutRelation(e);
+  auto res = EvaluateYannakakis(Q("Q(y) :- E(1, y)."), db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->NumTuples(), 2u);
+}
+
+TEST(Yannakakis, RepeatedVariableInAtom) {
+  Database db;
+  Relation e("E", 2);
+  e.Add({1, 1});
+  e.Add({1, 2});
+  e.Add({3, 3});
+  db.PutRelation(e);
+  auto res = EvaluateYannakakis(Q("Q(x) :- E(x, x)."), db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->NumTuples(), 2u);  // 1, 3.
+}
+
+TEST(Yannakakis, RejectsCyclicQuery) {
+  Database db;
+  db.PutRelation(Relation("E", 2));
+  db.PutRelation(Relation("F", 2));
+  db.PutRelation(Relation("G", 2));
+  auto res = EvaluateYannakakis(Q("Q() :- E(x, y), F(y, z), G(z, x)."), db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Yannakakis, MissingRelationIsNotFound) {
+  Database db;
+  auto res = EvaluateYannakakis(Q("Q(x) :- Nope(x)."), db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Yannakakis, CartesianProductViaDisconnectedAtoms) {
+  Database db;
+  Relation a("A", 1), b("B", 1);
+  a.Add({1});
+  a.Add({2});
+  b.Add({7});
+  b.Add({8});
+  db.PutRelation(a);
+  db.PutRelation(b);
+  auto res = EvaluateYannakakis(Q("Q(x, y) :- A(x), B(y)."), db);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->NumTuples(), 4u);
+}
+
+TEST(Yannakakis, EmptyRelationPropagatesThroughDisconnectedParts) {
+  Database db;
+  Relation a("A", 1), b("B", 1);
+  a.Add({1});
+  db.PutRelation(a);
+  db.PutRelation(b);  // Empty.
+  auto res = EvaluateYannakakis(Q("Q(x) :- A(x), B(y)."), db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->NumTuples(), 0u);
+}
+
+TEST(Yannakakis, SelfJoinSameRelationTwice) {
+  Database db;
+  Relation e("E", 2);
+  e.Add({1, 2});
+  e.Add({2, 3});
+  db.PutRelation(e);
+  auto res = EvaluateYannakakis(Q("Q(x, z) :- E(x, y), E(y, z)."), db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->NumTuples(), 1u);
+  EXPECT_TRUE(res->Contains({1, 3}));
+}
+
+TEST(Yannakakis, MatchesOracleOnFigure1Workload) {
+  Rng rng(11);
+  Database db = Figure1Database(/*tuples=*/40, /*domain=*/6, &rng);
+  ConjunctiveQuery q = Figure1Query();
+  auto fast = EvaluateYannakakis(q, db);
+  auto slow = EvaluateBacktrack(q, db);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  ExpectSameAnswers(*fast, *slow);
+}
+
+TEST(Yannakakis, JoinMaterializeBaselineAgrees) {
+  Rng rng(12);
+  Database db = PathDatabase(3, 50, 7, &rng);
+  ConjunctiveQuery q = PathQuery(3);
+  auto fast = EvaluateYannakakis(q, db);
+  auto base = EvaluateJoinMaterialize(q, db);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(base.ok());
+  ExpectSameAnswers(*fast, *base);
+}
+
+// ---- Property sweep: random acyclic queries vs the oracle --------------------
+
+struct SweepParam {
+  std::string query;
+  size_t tuples;
+  Value domain;
+  uint64_t seed;
+};
+
+void PrintTo(const SweepParam& p, std::ostream* os) { *os << p.query; }
+
+class YannakakisSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(YannakakisSweep, MatchesOracle) {
+  const SweepParam& p = GetParam();
+  Rng rng(p.seed);
+  ConjunctiveQuery q = Q(p.query);
+  Database db;
+  for (const Atom& a : q.atoms()) {
+    if (!db.Has(a.relation)) {
+      db.PutRelation(
+          RandomRelation(a.relation, a.arity(), p.tuples, p.domain, &rng));
+    }
+  }
+  db.DeclareDomainSize(p.domain);
+  auto fast = EvaluateYannakakis(q, db);
+  auto slow = EvaluateBacktrack(q, db);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  ExpectSameAnswers(*fast, *slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, YannakakisSweep,
+    ::testing::Values(
+        SweepParam{"Q(x, y) :- R(x, y).", 20, 5, 1},
+        SweepParam{"Q(x) :- R(x, y), S(y).", 25, 6, 2},
+        SweepParam{"Q(x, z) :- R(x, y), S(y, z).", 30, 5, 3},
+        SweepParam{"Q(x, y, z) :- R(x, y), S(y, z).", 30, 5, 4},
+        SweepParam{"Q() :- R(x, y), S(y, z), T(z, w).", 10, 8, 5},
+        SweepParam{"Q(a) :- R(a, b), S(b, c), T(c, d).", 25, 5, 6},
+        SweepParam{"Q(a, d) :- R(a, b), S(b, c), T(c, d).", 25, 4, 7},
+        SweepParam{"Q(x, y, z) :- E(x, y), F(y, z), G(z, x), T(x, y, z).",
+                   20, 4, 8},
+        SweepParam{"Q(x) :- R(x, x, y), S(y, 2).", 40, 4, 9},
+        SweepParam{"Q(u, v) :- A(u), B(v), C(u, v).", 15, 5, 10},
+        SweepParam{"Q(x) :- R(x, y), S(y, z), U(z), V(y).", 25, 5, 11},
+        SweepParam{"Q(x, w) :- R(x, y), S(x, w), T(w, u).", 25, 5, 12}));
+
+/// Full reduction leaves only tuples that participate in some answer
+/// (global consistency, the property both the constant-delay enumerator
+/// and Algorithm 2 rely on).
+TEST(FullReduce, ReducedRelationsAreGloballyConsistent) {
+  Rng rng(99);
+  Database db = PathDatabase(3, 60, 8, &rng);
+  ConjunctiveQuery q = PathQuery(3);
+  auto rq = FullReduce(q, db);
+  ASSERT_TRUE(rq.ok()) << rq.status();
+  if (rq->empty) GTEST_SKIP() << "random instance had empty result";
+  ConjunctiveQuery full = FullPathQuery(3);
+  auto all = EvaluateYannakakis(full, db);
+  ASSERT_TRUE(all.ok());
+  for (size_t ai = 0; ai < rq->atoms.size(); ++ai) {
+    const PreparedAtom& pa = rq->atoms[ai];
+    for (size_t r = 0; r < pa.rel.NumTuples(); ++r) {
+      bool found = false;
+      for (size_t s = 0; s < all->NumTuples() && !found; ++s) {
+        bool match = true;
+        for (size_t c = 0; c < pa.vars.size(); ++c) {
+          // Variables are x1..x4; their column in the full answer.
+          size_t col = static_cast<size_t>(pa.vars[c][1] - '1');
+          if (all->Row(s)[col] != pa.rel.Row(r)[c]) {
+            match = false;
+            break;
+          }
+        }
+        found = match;
+      }
+      EXPECT_TRUE(found) << "dangling tuple survived full reduction";
+    }
+  }
+}
+
+TEST(FullReduce, EmptyFlagSetWhenUnsatisfiable) {
+  Database db;
+  Relation a("A", 2);
+  a.Add({1, 2});
+  Relation b("B", 2);
+  b.Add({3, 4});  // No join partner.
+  db.PutRelation(a);
+  db.PutRelation(b);
+  auto rq = FullReduce(Q("Q(x) :- A(x, y), B(y, z)."), db);
+  ASSERT_TRUE(rq.ok());
+  EXPECT_TRUE(rq->empty);
+}
+
+}  // namespace
+}  // namespace fgq
