@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounded_degree.dir/bench_bounded_degree.cc.o"
+  "CMakeFiles/bench_bounded_degree.dir/bench_bounded_degree.cc.o.d"
+  "bench_bounded_degree"
+  "bench_bounded_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounded_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

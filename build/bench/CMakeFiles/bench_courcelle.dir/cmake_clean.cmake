@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_courcelle.dir/bench_courcelle.cc.o"
+  "CMakeFiles/bench_courcelle.dir/bench_courcelle.cc.o.d"
+  "bench_courcelle"
+  "bench_courcelle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_courcelle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disequality.dir/bench_disequality.cc.o"
+  "CMakeFiles/bench_disequality.dir/bench_disequality.cc.o.d"
+  "bench_disequality"
+  "bench_disequality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disequality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

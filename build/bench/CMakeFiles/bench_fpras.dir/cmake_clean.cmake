@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpras.dir/bench_fpras.cc.o"
+  "CMakeFiles/bench_fpras.dir/bench_fpras.cc.o.d"
+  "bench_fpras"
+  "bench_fpras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_low_degree.dir/bench_low_degree.cc.o"
+  "CMakeFiles/bench_low_degree.dir/bench_low_degree.cc.o.d"
+  "bench_low_degree"
+  "bench_low_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_low_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mso_enum.dir/bench_mso_enum.cc.o"
+  "CMakeFiles/bench_mso_enum.dir/bench_mso_enum.cc.o.d"
+  "bench_mso_enum"
+  "bench_mso_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mso_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ncq.dir/bench_ncq.cc.o"
+  "CMakeFiles/bench_ncq.dir/bench_ncq.cc.o.d"
+  "bench_ncq"
+  "bench_ncq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ncq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

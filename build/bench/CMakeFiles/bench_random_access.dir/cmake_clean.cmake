@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random_access.dir/bench_random_access.cc.o"
+  "CMakeFiles/bench_random_access.dir/bench_random_access.cc.o.d"
+  "bench_random_access"
+  "bench_random_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

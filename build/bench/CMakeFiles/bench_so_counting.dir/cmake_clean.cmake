@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_so_counting.dir/bench_so_counting.cc.o"
+  "CMakeFiles/bench_so_counting.dir/bench_so_counting.cc.o.d"
+  "bench_so_counting"
+  "bench_so_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_so_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

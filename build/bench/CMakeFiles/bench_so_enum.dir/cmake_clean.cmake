@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_so_enum.dir/bench_so_enum.cc.o"
+  "CMakeFiles/bench_so_enum.dir/bench_so_enum.cc.o.d"
+  "bench_so_enum"
+  "bench_so_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_so_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_size.dir/bench_star_size.cc.o"
+  "CMakeFiles/bench_star_size.dir/bench_star_size.cc.o.d"
+  "bench_star_size"
+  "bench_star_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

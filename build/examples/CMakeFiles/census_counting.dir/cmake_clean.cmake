@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_counting.dir/census_counting.cpp.o"
+  "CMakeFiles/census_counting.dir/census_counting.cpp.o.d"
+  "census_counting"
+  "census_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

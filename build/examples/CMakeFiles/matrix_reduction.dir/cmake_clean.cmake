@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_reduction.dir/matrix_reduction.cpp.o"
+  "CMakeFiles/matrix_reduction.dir/matrix_reduction.cpp.o.d"
+  "matrix_reduction"
+  "matrix_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

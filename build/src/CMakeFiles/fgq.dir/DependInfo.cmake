@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fgq/count/acq_count.cc" "src/CMakeFiles/fgq.dir/fgq/count/acq_count.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/count/acq_count.cc.o.d"
+  "/root/repo/src/fgq/count/matchings.cc" "src/CMakeFiles/fgq.dir/fgq/count/matchings.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/count/matchings.cc.o.d"
+  "/root/repo/src/fgq/db/database.cc" "src/CMakeFiles/fgq.dir/fgq/db/database.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/db/database.cc.o.d"
+  "/root/repo/src/fgq/db/index.cc" "src/CMakeFiles/fgq.dir/fgq/db/index.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/db/index.cc.o.d"
+  "/root/repo/src/fgq/db/loader.cc" "src/CMakeFiles/fgq.dir/fgq/db/loader.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/db/loader.cc.o.d"
+  "/root/repo/src/fgq/db/relation.cc" "src/CMakeFiles/fgq.dir/fgq/db/relation.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/db/relation.cc.o.d"
+  "/root/repo/src/fgq/db/trie.cc" "src/CMakeFiles/fgq.dir/fgq/db/trie.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/db/trie.cc.o.d"
+  "/root/repo/src/fgq/eval/bmm.cc" "src/CMakeFiles/fgq.dir/fgq/eval/bmm.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/bmm.cc.o.d"
+  "/root/repo/src/fgq/eval/clique_gadget.cc" "src/CMakeFiles/fgq.dir/fgq/eval/clique_gadget.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/clique_gadget.cc.o.d"
+  "/root/repo/src/fgq/eval/diseq.cc" "src/CMakeFiles/fgq.dir/fgq/eval/diseq.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/diseq.cc.o.d"
+  "/root/repo/src/fgq/eval/enumerate.cc" "src/CMakeFiles/fgq.dir/fgq/eval/enumerate.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/enumerate.cc.o.d"
+  "/root/repo/src/fgq/eval/ncq.cc" "src/CMakeFiles/fgq.dir/fgq/eval/ncq.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/ncq.cc.o.d"
+  "/root/repo/src/fgq/eval/oracle.cc" "src/CMakeFiles/fgq.dir/fgq/eval/oracle.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/oracle.cc.o.d"
+  "/root/repo/src/fgq/eval/prepared.cc" "src/CMakeFiles/fgq.dir/fgq/eval/prepared.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/prepared.cc.o.d"
+  "/root/repo/src/fgq/eval/random_access.cc" "src/CMakeFiles/fgq.dir/fgq/eval/random_access.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/random_access.cc.o.d"
+  "/root/repo/src/fgq/eval/ucq_enum.cc" "src/CMakeFiles/fgq.dir/fgq/eval/ucq_enum.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/ucq_enum.cc.o.d"
+  "/root/repo/src/fgq/eval/yannakakis.cc" "src/CMakeFiles/fgq.dir/fgq/eval/yannakakis.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/eval/yannakakis.cc.o.d"
+  "/root/repo/src/fgq/fo/bounded_degree.cc" "src/CMakeFiles/fgq.dir/fgq/fo/bounded_degree.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/fo/bounded_degree.cc.o.d"
+  "/root/repo/src/fgq/fo/naive_fo.cc" "src/CMakeFiles/fgq.dir/fgq/fo/naive_fo.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/fo/naive_fo.cc.o.d"
+  "/root/repo/src/fgq/hypergraph/hypergraph.cc" "src/CMakeFiles/fgq.dir/fgq/hypergraph/hypergraph.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/hypergraph/hypergraph.cc.o.d"
+  "/root/repo/src/fgq/hypergraph/star_size.cc" "src/CMakeFiles/fgq.dir/fgq/hypergraph/star_size.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/hypergraph/star_size.cc.o.d"
+  "/root/repo/src/fgq/mso/courcelle.cc" "src/CMakeFiles/fgq.dir/fgq/mso/courcelle.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/mso/courcelle.cc.o.d"
+  "/root/repo/src/fgq/mso/tree_decomposition.cc" "src/CMakeFiles/fgq.dir/fgq/mso/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/mso/tree_decomposition.cc.o.d"
+  "/root/repo/src/fgq/query/cq.cc" "src/CMakeFiles/fgq.dir/fgq/query/cq.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/query/cq.cc.o.d"
+  "/root/repo/src/fgq/query/fo.cc" "src/CMakeFiles/fgq.dir/fgq/query/fo.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/query/fo.cc.o.d"
+  "/root/repo/src/fgq/query/parser.cc" "src/CMakeFiles/fgq.dir/fgq/query/parser.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/query/parser.cc.o.d"
+  "/root/repo/src/fgq/so/enum_so.cc" "src/CMakeFiles/fgq.dir/fgq/so/enum_so.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/so/enum_so.cc.o.d"
+  "/root/repo/src/fgq/so/sigma_count.cc" "src/CMakeFiles/fgq.dir/fgq/so/sigma_count.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/so/sigma_count.cc.o.d"
+  "/root/repo/src/fgq/so/so_query.cc" "src/CMakeFiles/fgq.dir/fgq/so/so_query.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/so/so_query.cc.o.d"
+  "/root/repo/src/fgq/util/bigint.cc" "src/CMakeFiles/fgq.dir/fgq/util/bigint.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/util/bigint.cc.o.d"
+  "/root/repo/src/fgq/util/status.cc" "src/CMakeFiles/fgq.dir/fgq/util/status.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/util/status.cc.o.d"
+  "/root/repo/src/fgq/workload/generators.cc" "src/CMakeFiles/fgq.dir/fgq/workload/generators.cc.o" "gcc" "src/CMakeFiles/fgq.dir/fgq/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmm_test.dir/bmm_test.cc.o"
+  "CMakeFiles/bmm_test.dir/bmm_test.cc.o.d"
+  "bmm_test"
+  "bmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diseq_test.dir/diseq_test.cc.o"
+  "CMakeFiles/diseq_test.dir/diseq_test.cc.o.d"
+  "diseq_test"
+  "diseq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diseq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

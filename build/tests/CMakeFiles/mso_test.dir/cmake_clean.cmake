@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mso_test.dir/mso_test.cc.o"
+  "CMakeFiles/mso_test.dir/mso_test.cc.o.d"
+  "mso_test"
+  "mso_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

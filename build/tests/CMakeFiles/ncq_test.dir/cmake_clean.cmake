@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncq_test.dir/ncq_test.cc.o"
+  "CMakeFiles/ncq_test.dir/ncq_test.cc.o.d"
+  "ncq_test"
+  "ncq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

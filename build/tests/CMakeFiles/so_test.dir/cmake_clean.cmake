@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_test.dir/so_test.cc.o"
+  "CMakeFiles/so_test.dir/so_test.cc.o.d"
+  "so_test"
+  "so_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
