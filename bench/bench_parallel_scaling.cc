@@ -1,0 +1,109 @@
+#include <benchmark/benchmark.h>
+
+#include "fgq/eval/engine.h"
+#include "fgq/eval/enumerate.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/workload/generators.h"
+
+/// Experiment E17 (parallel scaling): speedup curves of the morsel-
+/// parallel evaluation core at 1/2/4/8 threads. The first benchmark arg
+/// is the thread count, so a single run prints the whole curve:
+///
+///   ./build/bench/bench_parallel_scaling
+///
+/// Expected shape on a multi-core host: full reduction and Yannakakis
+/// scale with the thread count until the semijoin sweeps' level-width or
+/// memory bandwidth binds; single-threaded rows reproduce the serial
+/// engine exactly (same code path), so the t=1 rows double as the
+/// baseline. On a single-core host all rows coincide modulo pool
+/// overhead.
+
+namespace fgq {
+namespace {
+
+ExecOptions Opts(int threads) {
+  ExecOptions o;
+  o.num_threads = threads;
+  o.morsel_size = 4096;
+  return o;
+}
+
+void BM_FullReduceParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(1234);
+  Database db = PathDatabase(4, n, static_cast<Value>(n / 2), &rng);
+  ConjunctiveQuery q = PathQuery(4);
+  ExecContext ctx(Opts(threads));
+  for (auto _ : state) {
+    auto res = FullReduce(q, db, ctx);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["threads"] = threads;
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_FullReduceParallel)
+    ->ArgsProduct({{1, 2, 4, 8}, {1 << 16, 1 << 18}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_YannakakisParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(99);
+  Database db = PathDatabase(3, n, static_cast<Value>(n), &rng);
+  ConjunctiveQuery q = PathQuery(3);
+  ExecContext ctx(Opts(threads));
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto res = EvaluateYannakakis(q, db, ctx);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    answers = res->NumTuples();
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["threads"] = threads;
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_YannakakisParallel)
+    ->ArgsProduct({{1, 2, 4, 8}, {1 << 16, 1 << 18}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FreeConnexPreprocessParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(7);
+  Database db = Figure1Database(n, static_cast<Value>(n / 4), &rng);
+  ConjunctiveQuery q = Figure1Query();
+  ExecContext ctx(Opts(threads));
+  for (auto _ : state) {
+    auto plan = BuildFreeConnexPlan(q, db, ctx);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["threads"] = threads;
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_FreeConnexPreprocessParallel)
+    ->ArgsProduct({{1, 2, 4, 8}, {1 << 16, 1 << 18}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineExecuteParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(55);
+  Database db = PathDatabase(1, n, static_cast<Value>(n / 2), &rng);
+  ConjunctiveQuery q = FullPathQuery(1);
+  Engine engine(Opts(threads));
+  for (auto _ : state) {
+    auto res = engine.Execute(q, db);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_EngineExecuteParallel)
+    ->ArgsProduct({{1, 2, 4, 8}, {1 << 18}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fgq

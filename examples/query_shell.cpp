@@ -20,13 +20,9 @@
 #include <sstream>
 #include <string>
 
-#include "fgq/count/acq_count.h"
 #include "fgq/db/loader.h"
-#include "fgq/eval/diseq.h"
-#include "fgq/eval/enumerate.h"
-#include "fgq/eval/oracle.h"
+#include "fgq/eval/engine.h"
 #include "fgq/eval/random_access.h"
-#include "fgq/eval/yannakakis.h"
 #include "fgq/hypergraph/star_size.h"
 #include "fgq/query/parser.h"
 
@@ -48,45 +44,34 @@ void PrintTuple(const Tuple& t, const Dictionary& dict) {
 }
 
 void Classify(const ConjunctiveQuery& q) {
-  bool acyclic = IsAcyclicQuery(q);
-  std::cout << "  acyclic: " << std::boolalpha << acyclic;
-  if (acyclic) {
-    std::cout << ", free-connex: " << IsFreeConnex(q)
-              << ", star size: " << QuantifiedStarSize(q);
+  QueryClass cls = Engine::Classify(q);
+  std::cout << "  class: " << QueryClassName(cls);
+  if (cls != QueryClass::kNegated && cls != QueryClass::kCyclic) {
+    std::cout << ", star size: " << QuantifiedStarSize(q);
   }
-  std::cout << ", self-join-free: " << q.IsSelfJoinFree()
+  std::cout << ", self-join-free: " << std::boolalpha << q.IsSelfJoinFree()
             << ", negation: " << q.HasNegation()
             << ", comparisons: " << q.comparisons().size() << "\n";
 }
 
-void RunQuery(const ConjunctiveQuery& q, const Database& db,
-              const Dictionary& dict) {
+void RunQuery(const Engine& engine, const ConjunctiveQuery& q,
+              const Database& db, const Dictionary& dict) {
   Classify(q);
-  Result<Relation> res = Status::Unsupported("");
-  const char* engine = "";
-  if (!q.HasNegation() && q.comparisons().empty() && IsAcyclicQuery(q)) {
-    engine = "Yannakakis";
-    res = EvaluateYannakakis(q, db);
-  } else if (!q.HasNegation() && IsAcyclicQuery(q)) {
-    engine = "ACQ!= (witness elimination, oracle fallback)";
-    res = EvaluateAcqNeq(q, db);
-  } else {
-    engine = "backtracking oracle";
-    res = EvaluateBacktrack(q, db);
-  }
+  Result<QueryResult> res = engine.Execute(q, db);
   if (!res.ok()) {
     std::cout << "  error: " << res.status() << "\n";
     return;
   }
-  std::cout << "  engine: " << engine << ", " << res->NumTuples()
+  std::cout << "  engine: " << res->algorithm << ", " << res->NumAnswers()
             << " answers\n";
   const size_t limit = 20;
-  for (size_t i = 0; i < std::min(limit, res->NumTuples()); ++i) {
+  const Relation& rel = res->answers;
+  for (size_t i = 0; i < std::min(limit, rel.NumTuples()); ++i) {
     std::cout << "    ";
-    PrintTuple(res->Row(i).ToTuple(), dict);
+    PrintTuple(rel.Row(i).ToTuple(), dict);
     std::cout << "\n";
   }
-  if (res->NumTuples() > limit) std::cout << "    ...\n";
+  if (rel.NumTuples() > limit) std::cout << "    ...\n";
 }
 
 }  // namespace
@@ -94,6 +79,7 @@ void RunQuery(const ConjunctiveQuery& q, const Database& db,
 int main() {
   Database db;
   Dictionary dict;
+  Engine engine;
   std::string line;
   std::cout << "fgq shell — 'help' for commands\n";
   while (std::getline(std::cin, line)) {
@@ -137,9 +123,9 @@ int main() {
       if (cmd == "classify") {
         Classify(*q);
       } else if (cmd == "query") {
-        RunQuery(*q, db, dict);
+        RunQuery(engine, *q, db, dict);
       } else if (cmd == "count") {
-        auto c = CountAnswers(*q, db);
+        auto c = engine.Count(*q, db);
         if (c.ok()) {
           std::cout << "  |phi(D)| = " << *c << "\n";
         } else {

@@ -2,18 +2,17 @@
 //
 // Builds a small database, parses conjunctive queries, checks the
 // structural properties the paper's dichotomies hinge on (acyclicity,
-// free-connexity, quantified star size), and runs the three core engines:
-// Yannakakis evaluation, constant-delay enumeration, and the counting DP.
+// free-connexity, quantified star size), and runs everything through the
+// fgq::Engine facade — it classifies each query and dispatches to the
+// right algorithm (Yannakakis, constant-delay enumeration, counting DP,
+// witness elimination, backtracking).
 //
 //   ./build/examples/quickstart
 
 #include <iostream>
 
-#include "fgq/count/acq_count.h"
 #include "fgq/db/loader.h"
-#include "fgq/eval/enumerate.h"
-#include "fgq/eval/yannakakis.h"
-#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/eval/engine.h"
 #include "fgq/hypergraph/star_size.h"
 #include "fgq/query/parser.h"
 
@@ -42,7 +41,7 @@ int main() {
 
   // 2. Parse a conjunctive query: the friends I follow who liked any
   // post. This one is free-connex (the head pair lives inside the
-  // Follows atom), so every engine below applies.
+  // Follows atom), so the strongest guarantees apply.
   auto query = ParseConjunctiveQuery(
       "Q(me, friend) :- Follows(me, friend), Likes(friend, post).");
   if (!query.ok()) {
@@ -51,27 +50,32 @@ int main() {
   }
   std::cout << "Query: " << query->ToString() << "\n";
 
-  // 3. Structural analysis (Section 4 of the paper).
-  std::cout << "  acyclic:       " << std::boolalpha << IsAcyclicQuery(*query)
+  // 3. An Engine carries the execution options (thread count, morsel
+  // size) and a shared thread pool; the default is serial. One engine
+  // serves any number of queries.
+  Engine engine;
+  std::cout << "  class:       " << QueryClassName(Engine::Classify(*query))
             << "\n"
-            << "  free-connex:   " << IsFreeConnex(*query) << "\n"
-            << "  star size:     " << QuantifiedStarSize(*query) << "\n\n";
+            << "  star size:   " << QuantifiedStarSize(*query) << "\n\n";
 
-  // 4. Evaluate with Yannakakis (Theorem 4.2).
-  auto answers = EvaluateYannakakis(*query, db);
-  if (!answers.ok()) {
-    std::cerr << answers.status() << "\n";
+  // 4. Execute: the engine picks the algorithm from the classification
+  // and reports which one ran.
+  auto result = engine.Execute(*query, db);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
     return 1;
   }
-  std::cout << "phi(D) has " << answers->NumTuples() << " answers:\n";
-  for (size_t i = 0; i < answers->NumTuples(); ++i) {
-    std::cout << "  (" << dict.Lookup(answers->Row(i)[0]) << ", "
-              << dict.Lookup(answers->Row(i)[1]) << ")\n";
+  std::cout << "phi(D) via " << result->algorithm << ", "
+            << result->NumAnswers() << " answers:\n";
+  for (size_t i = 0; i < result->answers.NumTuples(); ++i) {
+    std::cout << "  (" << dict.Lookup(result->answers.Row(i)[0]) << ", "
+              << dict.Lookup(result->answers.Row(i)[1]) << ")\n";
   }
 
-  // 5. Enumerate the same answers with constant delay (Theorem 4.6):
-  // linear preprocessing, then data-independent work per answer.
-  auto enumerator = MakeConstantDelayEnumerator(*query, db);
+  // 5. Stream the same answers. For this free-connex query the engine
+  // hands back the Theorem 4.6 constant-delay enumerator: linear
+  // preprocessing, then data-independent work per answer.
+  auto enumerator = engine.Enumerate(*query, db);
   if (!enumerator.ok()) {
     std::cerr << enumerator.status() << "\n";
     return 1;
@@ -84,7 +88,7 @@ int main() {
   }
 
   // 6. Count without enumerating (Theorem 4.21 / 4.28).
-  auto count = CountAcq(*query, db);
+  auto count = engine.Count(*query, db);
   if (!count.ok()) {
     std::cerr << count.status() << "\n";
     return 1;
@@ -92,17 +96,27 @@ int main() {
   std::cout << "\n|phi(D)| = " << *count << "\n";
 
   // 7. The matrix-shaped variant — posts liked by someone I follow — is
-  // acyclic but NOT free-connex (its star size is 2). The constant-delay
-  // engine rejects it with Theorem 4.8's explanation, yet the counting
-  // engine still handles it through the star-size pipeline.
+  // acyclic but NOT free-connex (its star size is 2). The engine
+  // classifies it as general-acyclic and falls back to full Yannakakis,
+  // while counting still runs in the star-size pipeline.
   auto pi = ParseConjunctiveQuery(
       "Reach(me, post) :- Follows(me, friend), Likes(friend, post).");
   std::cout << "\nMatrix-shaped query: " << pi->ToString() << "\n"
-            << "  free-connex: " << IsFreeConnex(*pi)
+            << "  class: " << QueryClassName(Engine::Classify(*pi))
             << ", star size: " << QuantifiedStarSize(*pi) << "\n";
-  auto rejected = MakeConstantDelayEnumerator(*pi, db);
-  std::cout << "  constant-delay engine says: " << rejected.status() << "\n";
-  std::cout << "  counting engine still works: |Reach(D)| = "
-            << *CountAcq(*pi, db) << "\n";
+  auto reach = engine.Execute(*pi, db);
+  std::cout << "  engine ran " << reach->algorithm << ": |Reach(D)| = "
+            << reach->NumAnswers() << "\n";
+  std::cout << "  counting engine agrees: |Reach(D)| = "
+            << *engine.Count(*pi, db) << "\n";
+
+  // 8. The same engine parallelized: ExecOptions plumb a work-stealing
+  // pool through preparation, semijoin sweeps, and index builds. Results
+  // are identical to serial execution.
+  Engine parallel(ExecOptions::Parallel(4));
+  auto par = parallel.Execute(*query, db);
+  std::cout << "\nWith 4 threads: " << par->NumAnswers()
+            << " answers (same as serial: " << std::boolalpha
+            << (par->NumAnswers() == result->NumAnswers()) << ")\n";
   return 0;
 }

@@ -1,22 +1,98 @@
 #include "fgq/db/index.h"
 
+#include <algorithm>
+
 namespace fgq {
+
+namespace {
+
+constexpr size_t kParallelBuildCutoff = size_t{1} << 13;
+
+}  // namespace
 
 HashIndex::HashIndex(const Relation& rel, std::vector<size_t> key_cols)
     : key_cols_(std::move(key_cols)) {
+  BuildSerial(rel);
+}
+
+HashIndex::HashIndex(const Relation& rel, std::vector<size_t> key_cols,
+                     const ExecContext& ctx)
+    : key_cols_(std::move(key_cols)) {
+  ThreadPool* pool = ctx.pool();
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      rel.NumTuples() < kParallelBuildCutoff) {
+    BuildSerial(rel);
+  } else {
+    BuildParallel(rel, ctx);
+  }
+}
+
+void HashIndex::BuildSerial(const Relation& rel) {
+  shards_.resize(1);
+  shard_mask_ = 0;
   const size_t n = rel.NumTuples();
-  buckets_.reserve(n);
+  shards_[0].reserve(n);
   Tuple key(key_cols_.size());
   for (size_t i = 0; i < n; ++i) {
     const Value* row = rel.RowData(i);
     for (size_t j = 0; j < key_cols_.size(); ++j) key[j] = row[key_cols_[j]];
-    buckets_[key].push_back(static_cast<uint32_t>(i));
+    shards_[0][key].push_back(static_cast<uint32_t>(i));
   }
 }
 
+void HashIndex::BuildParallel(const Relation& rel, const ExecContext& ctx) {
+  ThreadPool* pool = ctx.pool();
+  const size_t n = rel.NumTuples();
+  size_t num_shards = 1;
+  while (num_shards < 4 * pool->num_threads()) num_shards <<= 1;
+  shards_.resize(num_shards);
+  shard_mask_ = num_shards - 1;
+
+  // Phase 1: scatter row ids into (morsel, shard) buckets. Each morsel
+  // writes only its own bucket row, so no synchronization is needed.
+  const size_t grain = ctx.morsel_size();
+  const size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::vector<std::vector<uint32_t>>> scatter(
+      num_chunks, std::vector<std::vector<uint32_t>>(num_shards));
+  pool->ParallelFor(n, grain, [&](size_t begin, size_t end) {
+    std::vector<std::vector<uint32_t>>& buckets = scatter[begin / grain];
+    Tuple key(key_cols_.size());
+    for (size_t i = begin; i < end; ++i) {
+      const Value* row = rel.RowData(i);
+      for (size_t j = 0; j < key_cols_.size(); ++j) {
+        key[j] = row[key_cols_[j]];
+      }
+      const size_t s = static_cast<size_t>(VecHash{}(key)) & shard_mask_;
+      buckets[s].push_back(static_cast<uint32_t>(i));
+    }
+  });
+
+  // Phase 2: one lane per shard merges the buckets in morsel order, so
+  // row ids stay ascending per key exactly as in the serial build.
+  pool->ParallelFor(num_shards, 1, [&](size_t sb, size_t se) {
+    Tuple key(key_cols_.size());
+    for (size_t s = sb; s < se; ++s) {
+      size_t total = 0;
+      for (size_t c = 0; c < num_chunks; ++c) total += scatter[c][s].size();
+      shards_[s].reserve(total);
+      for (size_t c = 0; c < num_chunks; ++c) {
+        for (uint32_t i : scatter[c][s]) {
+          const Value* row = rel.RowData(i);
+          for (size_t j = 0; j < key_cols_.size(); ++j) {
+            key[j] = row[key_cols_[j]];
+          }
+          shards_[s][key].push_back(i);
+        }
+      }
+    }
+  });
+}
+
 const std::vector<uint32_t>& HashIndex::Lookup(const Tuple& key) const {
-  auto it = buckets_.find(key);
-  return it == buckets_.end() ? empty_ : it->second;
+  const Shard& shard =
+      shards_[static_cast<size_t>(VecHash{}(key)) & shard_mask_];
+  auto it = shard.find(key);
+  return it == shard.end() ? empty_ : it->second;
 }
 
 const std::vector<uint32_t>& HashIndex::LookupRow(
@@ -24,6 +100,12 @@ const std::vector<uint32_t>& HashIndex::LookupRow(
   Tuple key(probe_cols.size());
   for (size_t j = 0; j < probe_cols.size(); ++j) key[j] = row[probe_cols[j]];
   return Lookup(key);
+}
+
+size_t HashIndex::NumKeys() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) total += s.size();
+  return total;
 }
 
 }  // namespace fgq

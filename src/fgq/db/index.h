@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fgq/db/relation.h"
+#include "fgq/util/exec_options.h"
 #include "fgq/util/hash.h"
 
 /// \file index.h
@@ -15,14 +16,25 @@
 /// a single O(N) build gives O(1) expected probes, which is what turns
 /// Yannakakis' passes into the linear-time preprocessing the paper's
 /// Constant-Delay_lin class requires.
+///
+/// Internally the index is split into hash-partitioned shards. A serial
+/// build uses one shard; a parallel build (ExecContext with a pool)
+/// scatters row ids to shards morsel by morsel, then populates every
+/// shard concurrently. Because a key lives in exactly one shard and rows
+/// are inserted in ascending row order either way, the built index is
+/// identical for any thread count.
 
 namespace fgq {
 
-/// Immutable hash index mapping key-column values to the matching row ids.
+/// Immutable hash index mapping key-column values to the matching row ids
+/// (ascending per key).
 class HashIndex {
  public:
   /// Builds an index on `rel` keyed by `key_cols` (in that order).
   HashIndex(const Relation& rel, std::vector<size_t> key_cols);
+  /// Morsel-parallel build; equivalent to the serial one.
+  HashIndex(const Relation& rel, std::vector<size_t> key_cols,
+            const ExecContext& ctx);
 
   /// Rows whose key columns equal `key`. The returned reference is valid
   /// for the lifetime of the index.
@@ -30,17 +42,23 @@ class HashIndex {
 
   /// Convenience probe from a full row of another relation: extracts
   /// `probe_cols` from `row` and looks them up.
-  const std::vector<uint32_t>& LookupRow(const Value* row,
-                                         const std::vector<size_t>& probe_cols) const;
+  const std::vector<uint32_t>& LookupRow(
+      const Value* row, const std::vector<size_t>& probe_cols) const;
 
   bool ContainsKey(const Tuple& key) const { return !Lookup(key).empty(); }
 
-  size_t NumKeys() const { return buckets_.size(); }
+  size_t NumKeys() const;
   const std::vector<size_t>& key_cols() const { return key_cols_; }
 
  private:
+  using Shard = std::unordered_map<Tuple, std::vector<uint32_t>, VecHash>;
+
+  void BuildSerial(const Relation& rel);
+  void BuildParallel(const Relation& rel, const ExecContext& ctx);
+
   std::vector<size_t> key_cols_;
-  std::unordered_map<Tuple, std::vector<uint32_t>, VecHash> buckets_;
+  std::vector<Shard> shards_;  // Size is a power of two.
+  size_t shard_mask_ = 0;      // shards_.size() - 1.
   std::vector<uint32_t> empty_;
 };
 

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <queue>
 #include <sstream>
 
 namespace fgq {
+
+namespace {
+
+/// Row count below which parallel mutators fall back to the serial path:
+/// scheduling a morsel costs more than sorting a few thousand rows.
+constexpr size_t kParallelRowCutoff = size_t{1} << 13;
+
+}  // namespace
 
 void Relation::Add(const Tuple& t) {
   assert(t.size() == arity_);
@@ -14,6 +23,7 @@ void Relation::Add(const Tuple& t) {
     return;
   }
   data_.insert(data_.end(), t.begin(), t.end());
+  ++num_tuples_;
 }
 
 void Relation::AddRow(const Value* t) {
@@ -22,11 +32,30 @@ void Relation::AddRow(const Value* t) {
     return;
   }
   data_.insert(data_.end(), t, t + arity_);
+  ++num_tuples_;
 }
 
 void Relation::AddNullary() {
   assert(arity_ == 0);
   zero_arity_count_ = 1;
+}
+
+void Relation::AppendRows(const Value* rows, size_t num_rows) {
+  if (arity_ == 0) {
+    if (num_rows > 0) zero_arity_count_ = 1;
+    return;
+  }
+  data_.insert(data_.end(), rows, rows + num_rows * arity_);
+  num_tuples_ += num_rows;
+}
+
+void Relation::AppendFrom(const Relation& other) {
+  assert(other.arity_ == arity_);
+  if (arity_ == 0) {
+    if (other.NumTuples() > 0) zero_arity_count_ = 1;
+    return;
+  }
+  AppendRows(other.data_.data(), other.num_tuples_);
 }
 
 namespace {
@@ -75,6 +104,82 @@ void Relation::SortDedup() {
     }
   }
   data_.resize(w * arity_);
+  num_tuples_ = w;
+}
+
+void Relation::SortDedup(const ExecContext& ctx) {
+  ThreadPool* pool = ctx.pool();
+  const size_t n = NumTuples();
+  if (pool == nullptr || pool->num_threads() <= 1 || arity_ == 0 ||
+      n < kParallelRowCutoff) {
+    SortDedup();
+    return;
+  }
+  // Morsel-parallel sort: each chunk of the row-index array is sorted by a
+  // pool lane, then one dedup pass k-way-merges the sorted runs. The
+  // output is the canonical sorted set, identical to the serial result.
+  const size_t arity = arity_;
+  const Value* base = data_.data();
+  auto row_less = [base, arity](uint32_t a, uint32_t b) {
+    const Value* ra = base + static_cast<size_t>(a) * arity;
+    const Value* rb = base + static_cast<size_t>(b) * arity;
+    for (size_t c = 0; c < arity; ++c) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    return false;
+  };
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const size_t num_runs =
+      std::min<size_t>(pool->num_threads(), (n + kParallelRowCutoff - 1) /
+                                                kParallelRowCutoff);
+  const size_t run_len = (n + num_runs - 1) / num_runs;
+  pool->ParallelFor(num_runs, 1, [&](size_t rb, size_t re) {
+    for (size_t r = rb; r < re; ++r) {
+      const size_t begin = r * run_len;
+      const size_t end = std::min(n, begin + run_len);
+      std::sort(order.begin() + begin, order.begin() + end, row_less);
+    }
+  });
+
+  // K-way merge with dedup into a fresh buffer.
+  struct RunCursor {
+    size_t pos;
+    size_t end;
+  };
+  std::vector<RunCursor> runs;
+  for (size_t r = 0; r < num_runs; ++r) {
+    const size_t begin = r * run_len;
+    const size_t end = std::min(n, begin + run_len);
+    if (begin < end) runs.push_back({begin, end});
+  }
+  auto heap_greater = [&](size_t a, size_t b) {
+    // Min-heap on the head rows; ties broken by run index for stability.
+    if (row_less(order[runs[a].pos], order[runs[b].pos])) return false;
+    if (row_less(order[runs[b].pos], order[runs[a].pos])) return true;
+    return a > b;
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(heap_greater)>
+      heap(heap_greater);
+  for (size_t r = 0; r < runs.size(); ++r) heap.push(r);
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  size_t written = 0;
+  while (!heap.empty()) {
+    const size_t r = heap.top();
+    heap.pop();
+    const Value* row = base + static_cast<size_t>(order[runs[r].pos]) * arity;
+    const bool duplicate =
+        written > 0 &&
+        std::equal(row, row + arity, out.data() + (written - 1) * arity);
+    if (!duplicate) {
+      out.insert(out.end(), row, row + arity);
+      ++written;
+    }
+    if (++runs[r].pos < runs[r].end) heap.push(r);
+  }
+  data_ = std::move(out);
+  num_tuples_ = written;
 }
 
 void Relation::SortBy(const std::vector<size_t>& cols) {
@@ -83,19 +188,47 @@ void Relation::SortBy(const std::vector<size_t>& cols) {
 
 Relation Relation::Project(const std::vector<size_t>& cols,
                            const std::string& name) const {
+  return Project(cols, name, ExecContext());
+}
+
+Relation Relation::Project(const std::vector<size_t>& cols,
+                           const std::string& name,
+                           const ExecContext& ctx) const {
   Relation out(name, cols.size());
   const size_t n = NumTuples();
   if (cols.empty()) {
     if (n > 0) out.AddNullary();
     return out;
   }
-  Tuple t(cols.size());
-  for (size_t i = 0; i < n; ++i) {
-    const Value* row = RowData(i);
-    for (size_t j = 0; j < cols.size(); ++j) t[j] = row[cols[j]];
-    out.Add(t);
+  ThreadPool* pool = ctx.pool();
+  if (pool == nullptr || pool->num_threads() <= 1 || n < kParallelRowCutoff) {
+    Tuple t(cols.size());
+    for (size_t i = 0; i < n; ++i) {
+      const Value* row = RowData(i);
+      for (size_t j = 0; j < cols.size(); ++j) t[j] = row[cols[j]];
+      out.Add(t);
+    }
+    out.SortDedup(ctx);
+    return out;
   }
-  out.SortDedup();
+  // Morsel-parallel projection into chunk-local buffers, re-stitched in
+  // input order (the trailing SortDedup canonicalizes anyway).
+  const size_t grain = ctx.morsel_size();
+  const size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::vector<Value>> parts(num_chunks);
+  pool->ParallelFor(n, grain, [&](size_t begin, size_t end) {
+    std::vector<Value>& part = parts[begin / grain];
+    part.reserve((end - begin) * cols.size());
+    for (size_t i = begin; i < end; ++i) {
+      const Value* row = RowData(i);
+      for (size_t j = 0; j < cols.size(); ++j) part.push_back(row[cols[j]]);
+    }
+  });
+  out.Reserve(n);
+  for (const std::vector<Value>& part : parts) {
+    out.AppendRows(part.data(), part.size() / cols.size());
+  }
+  out.SortDedup(ctx);
   return out;
 }
 
@@ -117,6 +250,36 @@ void Relation::Filter(const std::function<bool(TupleView)>& pred) {
     }
   }
   data_.resize(w * arity_);
+  num_tuples_ = w;
+}
+
+void Relation::Filter(const std::function<bool(TupleView)>& pred,
+                      const ExecContext& ctx) {
+  ThreadPool* pool = ctx.pool();
+  const size_t n = NumTuples();
+  if (pool == nullptr || pool->num_threads() <= 1 || arity_ == 0 ||
+      n < kParallelRowCutoff) {
+    Filter(pred);
+    return;
+  }
+  // Evaluate the predicate morsel-parallel, then compact serially (the
+  // compaction is a straight memmove pass, well under the predicate cost).
+  std::vector<uint8_t> keep(n);
+  pool->ParallelFor(n, ctx.morsel_size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      keep[i] = pred(Row(i)) ? 1 : 0;
+    }
+  });
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    if (w != i) {
+      std::copy(RowData(i), RowData(i) + arity_, data_.begin() + w * arity_);
+    }
+    ++w;
+  }
+  data_.resize(w * arity_);
+  num_tuples_ = w;
 }
 
 bool Relation::Contains(const Tuple& t) const {

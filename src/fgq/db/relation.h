@@ -1,12 +1,14 @@
 #ifndef FGQ_DB_RELATION_H_
 #define FGQ_DB_RELATION_H_
 
+#include <cassert>
 #include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "fgq/db/value.h"
+#include "fgq/util/exec_options.h"
 #include "fgq/util/status.h"
 
 /// \file relation.h
@@ -16,7 +18,10 @@
 /// (row-major in one flat vector). All evaluation algorithms treat
 /// relations as sets; Relation::SortDedup establishes set semantics in
 /// O(N log N), matching the paper's convention that the input encoding
-/// induces a linear order on tuples.
+/// induces a linear order on tuples. The mutators that dominate hot loops
+/// (SortDedup, Filter, Project) have morsel-parallel variants taking an
+/// ExecContext; with a serial context they are bit-for-bit identical to
+/// the plain overloads.
 
 namespace fgq {
 
@@ -39,7 +44,12 @@ class Relation {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   size_t arity() const { return arity_; }
-  size_t NumTuples() const { return arity_ == 0 ? zero_arity_count_ : data_.size() / arity_; }
+  /// Cached tuple count — no division on the hot path.
+  size_t NumTuples() const {
+    assert(arity_ == 0 || data_.size() % arity_ == 0);
+    assert(arity_ == 0 || num_tuples_ == data_.size() / arity_);
+    return arity_ == 0 ? zero_arity_count_ : num_tuples_;
+  }
   bool empty() const { return NumTuples() == 0; }
 
   /// ||R|| contribution in the paper's size measure: #tuples * arity.
@@ -53,6 +63,13 @@ class Relation {
   void AddRow(const Value* t);
   /// Appends a 0-ary "present" marker (for Boolean relations).
   void AddNullary();
+  /// Bulk-appends `num_rows` rows of arity() values each (used to stitch
+  /// morsel-local results back together in input order).
+  void AppendRows(const Value* rows, size_t num_rows);
+  /// Appends every row of `other` (same arity required).
+  void AppendFrom(const Relation& other);
+  /// Pre-sizes the backing store for `num_rows` rows.
+  void Reserve(size_t num_rows) { data_.reserve(num_rows * arity_); }
 
   /// Returns the i-th row (data pointer is null for 0-ary relations).
   TupleView Row(size_t i) const { return TupleView{RowData(i), arity_}; }
@@ -64,6 +81,9 @@ class Relation {
 
   /// Sorts rows lexicographically and removes duplicates (set semantics).
   void SortDedup();
+  /// Parallel variant: morsel-local sorts plus a dedup merge. The result
+  /// is the same canonical sorted set for any thread count.
+  void SortDedup(const ExecContext& ctx);
 
   /// Sorts rows lexicographically by the given column permutation/subset
   /// order, e.g. {1,0} sorts by column 1 then column 0.
@@ -72,9 +92,16 @@ class Relation {
   /// Returns the projection of this relation onto `cols` (with dedup).
   Relation Project(const std::vector<size_t>& cols,
                    const std::string& name) const;
+  /// Parallel variant (same result for any thread count).
+  Relation Project(const std::vector<size_t>& cols, const std::string& name,
+                   const ExecContext& ctx) const;
 
   /// Keeps only the rows satisfying `pred`.
   void Filter(const std::function<bool(TupleView)>& pred);
+  /// Parallel variant: `pred` is invoked concurrently from pool threads
+  /// (it must be thread-safe); rows keep their relative order.
+  void Filter(const std::function<bool(TupleView)>& pred,
+              const ExecContext& ctx);
 
   /// True if some row equals `t` (linear scan; use HashIndex for bulk).
   bool Contains(const Tuple& t) const;
@@ -89,6 +116,7 @@ class Relation {
   std::string name_;
   size_t arity_ = 0;
   size_t zero_arity_count_ = 0;
+  size_t num_tuples_ = 0;  // data_.size() / arity_, maintained by mutators.
   std::vector<Value> data_;
 };
 

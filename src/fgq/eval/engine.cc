@@ -1,0 +1,136 @@
+#include "fgq/eval/engine.h"
+
+#include <utility>
+
+#include "fgq/count/acq_count.h"
+#include "fgq/eval/diseq.h"
+#include "fgq/eval/oracle.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/query/term.h"
+
+namespace fgq {
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kBooleanAcyclic:
+      return "boolean-acyclic";
+    case QueryClass::kFreeConnexAcyclic:
+      return "free-connex";
+    case QueryClass::kGeneralAcyclic:
+      return "general-acyclic";
+    case QueryClass::kAcyclicDisequalities:
+      return "acyclic-disequalities";
+    case QueryClass::kAcyclicOrderComparisons:
+      return "acyclic-order-comparisons";
+    case QueryClass::kNegated:
+      return "negated";
+    case QueryClass::kCyclic:
+      return "cyclic";
+  }
+  return "unknown";
+}
+
+Engine::Engine(const ExecOptions& opts) : opts_(opts), ctx_(opts) {}
+
+QueryClass Engine::Classify(const ConjunctiveQuery& q) {
+  if (q.HasNegation()) return QueryClass::kNegated;
+  if (!IsAcyclicQuery(q)) return QueryClass::kCyclic;
+  if (!q.comparisons().empty()) {
+    for (const Comparison& c : q.comparisons()) {
+      if (c.op != Comparison::Op::kNotEqual) {
+        return QueryClass::kAcyclicOrderComparisons;
+      }
+    }
+    return QueryClass::kAcyclicDisequalities;
+  }
+  if (q.IsBoolean()) return QueryClass::kBooleanAcyclic;
+  if (IsFreeConnex(q)) return QueryClass::kFreeConnexAcyclic;
+  return QueryClass::kGeneralAcyclic;
+}
+
+Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
+                                    const Database& db) const {
+  return ExecuteWith(q, db, ctx_);
+}
+
+Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
+                                    const Database& db,
+                                    const ExecOptions& opts) const {
+  if (opts == opts_) return ExecuteWith(q, db, ctx_);
+  return ExecuteWith(q, db, ExecContext(opts));
+}
+
+Result<QueryResult> Engine::ExecuteWith(const ConjunctiveQuery& q,
+                                        const Database& db,
+                                        const ExecContext& ctx) const {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  QueryResult res;
+  res.classification = Classify(q);
+  switch (res.classification) {
+    case QueryClass::kBooleanAcyclic: {
+      FGQ_ASSIGN_OR_RETURN(bool sat, EvaluateBooleanAcq(q, db, ctx));
+      res.answers = Relation(q.name(), 0);
+      if (sat) res.answers.AddNullary();
+      res.algorithm = "boolean-semijoin-sweep";
+      return res;
+    }
+    case QueryClass::kFreeConnexAcyclic: {
+      FGQ_ASSIGN_OR_RETURN(auto e, MakeConstantDelayEnumerator(q, db, ctx));
+      res.answers = DrainEnumerator(e.get(), q.name(), q.arity());
+      res.algorithm = "constant-delay-enumeration";
+      return res;
+    }
+    case QueryClass::kGeneralAcyclic: {
+      FGQ_ASSIGN_OR_RETURN(res.answers, EvaluateYannakakis(q, db, ctx));
+      res.algorithm = "yannakakis";
+      return res;
+    }
+    case QueryClass::kAcyclicDisequalities: {
+      FGQ_ASSIGN_OR_RETURN(res.answers, EvaluateAcqNeq(q, db));
+      res.algorithm = "neq-witness-elimination";
+      return res;
+    }
+    case QueryClass::kAcyclicOrderComparisons:
+    case QueryClass::kNegated:
+    case QueryClass::kCyclic: {
+      FGQ_ASSIGN_OR_RETURN(res.answers, EvaluateBacktrack(q, db));
+      res.algorithm = "backtracking-oracle";
+      return res;
+    }
+  }
+  return Status::Internal("unhandled query class");
+}
+
+Result<BigInt> Engine::Count(const ConjunctiveQuery& q,
+                             const Database& db) const {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  // CountAnswers already dispatches: counting DP (Theorems 4.21/4.28) for
+  // plain acyclic queries, oracle fallback for everything else.
+  return CountAnswers(q, db);
+}
+
+Result<std::unique_ptr<AnswerEnumerator>> Engine::Enumerate(
+    const ConjunctiveQuery& q, const Database& db) const {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  switch (Classify(q)) {
+    case QueryClass::kBooleanAcyclic:
+    case QueryClass::kFreeConnexAcyclic:
+      return MakeConstantDelayEnumerator(q, db, ctx_);
+    case QueryClass::kGeneralAcyclic:
+      return MakeLinearDelayEnumerator(q, db, ctx_);
+    case QueryClass::kAcyclicDisequalities: {
+      // Theorem 4.20's fast path needs a specific shape; fall back to
+      // materializing when it declines.
+      Result<std::unique_ptr<AnswerEnumerator>> e = MakeNeqEnumerator(q, db);
+      if (e.ok()) return e;
+      break;
+    }
+    default:
+      break;
+  }
+  FGQ_ASSIGN_OR_RETURN(QueryResult res, Execute(q, db));
+  return MakeMaterializedEnumerator(std::move(res.answers));
+}
+
+}  // namespace fgq

@@ -1,0 +1,118 @@
+#ifndef FGQ_EVAL_ENGINE_H_
+#define FGQ_EVAL_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "fgq/db/database.h"
+#include "fgq/eval/enumerate.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/bigint.h"
+#include "fgq/util/exec_options.h"
+#include "fgq/util/status.h"
+
+/// \file engine.h
+/// The unified evaluation facade.
+///
+/// fgq grew one free function per theorem (EvaluateYannakakis,
+/// MakeConstantDelayEnumerator, CountAcq, EvaluateAcqNeq, ...). Those
+/// remain available as the low-level API, but applications should talk to
+/// fgq::Engine: it classifies a query along the paper's dichotomies
+/// (Boolean ACQ / free-connex ACQ / general ACQ / ACQ with disequalities /
+/// cyclic or negated), dispatches to the fastest applicable algorithm, and
+/// runs it on the engine's shared thread pool according to its
+/// ExecOptions. One Engine can serve many queries; it is immutable after
+/// construction and safe to share across request threads (each Execute
+/// call only reads the configuration and uses the internally synchronized
+/// pool).
+
+namespace fgq {
+
+/// Where a query falls in the paper's complexity landscape; decides the
+/// algorithm Engine::Execute dispatches to.
+enum class QueryClass {
+  /// Boolean acyclic CQ: one bottom-up semijoin sweep, O(||phi|| ||D||)
+  /// (Theorem 4.2's model-checking half).
+  kBooleanAcyclic,
+  /// Free-connex acyclic CQ: linear preprocessing, then output-linear
+  /// assembly via the constant-delay plan (Theorem 4.6).
+  kFreeConnexAcyclic,
+  /// Acyclic but not free-connex: full Yannakakis,
+  /// O(||phi|| ||D|| ||phi(D)||) (Theorem 4.2).
+  kGeneralAcyclic,
+  /// Acyclic with disequality comparisons: witness elimination
+  /// (Theorem 4.20) with an oracle fallback.
+  kAcyclicDisequalities,
+  /// Acyclic with order comparisons: W[1]-hard (Theorem 4.15); served by
+  /// the backtracking oracle.
+  kAcyclicOrderComparisons,
+  /// Contains negated atoms: outside the positive-ACQ fast paths.
+  kNegated,
+  /// Cyclic: no poly algorithm expected (Theorem 4.1 side); backtracking.
+  kCyclic,
+};
+
+/// Stable human-readable name ("boolean-acyclic", "free-connex", ...).
+const char* QueryClassName(QueryClass c);
+
+/// The outcome of Engine::Execute.
+struct QueryResult {
+  /// phi(D), columns in head order (arity 0, nonempty marker for Boolean
+  /// queries).
+  Relation answers;
+  /// Structural classification that drove the dispatch.
+  QueryClass classification = QueryClass::kCyclic;
+  /// The algorithm that produced `answers` (for logging/inspection).
+  std::string algorithm;
+
+  size_t NumAnswers() const { return answers.NumTuples(); }
+  bool BooleanValue() const { return answers.NumTuples() > 0; }
+};
+
+/// The unified entry point to every evaluation algorithm in the library.
+class Engine {
+ public:
+  /// An engine with the given execution options. The thread pool (when
+  /// num_threads > 1) is created once and shared by all calls.
+  explicit Engine(const ExecOptions& opts = ExecOptions());
+
+  const ExecOptions& options() const { return opts_; }
+  /// The engine's execution context (shared pool + morsel size).
+  const ExecContext& context() const { return ctx_; }
+
+  /// Structural classification along the paper's dichotomies. Pure
+  /// query analysis; does not touch a database.
+  static QueryClass Classify(const ConjunctiveQuery& q);
+
+  /// Evaluates phi(D) with the fastest algorithm for the query's class,
+  /// using the engine's options.
+  Result<QueryResult> Execute(const ConjunctiveQuery& q,
+                              const Database& db) const;
+  /// Same, with per-call options (a fresh pool is spun up when the
+  /// requested thread count differs from the engine's).
+  Result<QueryResult> Execute(const ConjunctiveQuery& q, const Database& db,
+                              const ExecOptions& opts) const;
+
+  /// Counts |phi(D)| without materializing answers: counting DP for
+  /// acyclic queries (Theorems 4.21/4.28), oracle fallback otherwise.
+  Result<BigInt> Count(const ConjunctiveQuery& q, const Database& db) const;
+
+  /// Streams the answers with the strongest delay guarantee available:
+  /// constant delay for free-connex ACQs, linear delay for general ACQs,
+  /// witness-based for ACQ with disequalities, materialize-then-replay
+  /// otherwise.
+  Result<std::unique_ptr<AnswerEnumerator>> Enumerate(
+      const ConjunctiveQuery& q, const Database& db) const;
+
+ private:
+  Result<QueryResult> ExecuteWith(const ConjunctiveQuery& q,
+                                  const Database& db,
+                                  const ExecContext& ctx) const;
+
+  ExecOptions opts_;
+  ExecContext ctx_;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_EVAL_ENGINE_H_

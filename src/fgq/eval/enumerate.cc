@@ -46,27 +46,36 @@ class ConstantDelayEnumerator : public AnswerEnumerator {
  public:
   ConstantDelayEnumerator(std::vector<PreparedAtom> nodes,
                           std::vector<int> parent,
-                          std::vector<std::string> head)
+                          std::vector<std::string> head,
+                          const ExecContext& ctx)
       : nodes_(std::move(nodes)), parent_(std::move(parent)) {
-    // Per-node index keyed by the connector with the parent.
+    // Per-node index keyed by the connector with the parent. Column
+    // bookkeeping is query-sized; the O(||D||) hash-index builds fan out
+    // one task per node, each build itself morsel-parallel.
+    std::vector<std::vector<size_t>> connector_cols(nodes_.size());
     for (size_t i = 0; i < nodes_.size(); ++i) {
-      std::vector<size_t> connector_cols;
       std::vector<size_t> parent_cols;
       if (parent_[i] >= 0) {
         const PreparedAtom& p = nodes_[parent_[i]];
         for (size_t c = 0; c < nodes_[i].vars.size(); ++c) {
           int pc = p.VarIndex(nodes_[i].vars[c]);
           if (pc >= 0) {
-            connector_cols.push_back(c);
+            connector_cols[i].push_back(c);
             parent_cols.push_back(static_cast<size_t>(pc));
           }
         }
       }
       parent_cols_.push_back(std::move(parent_cols));
-      indexes_.emplace_back(nodes_[i].rel, connector_cols);
       candidates_.push_back(nullptr);
       pos_.push_back(0);
     }
+    indexes_.resize(nodes_.size());
+    ParallelFor(ctx.pool(), nodes_.size(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        indexes_[i] = std::make_unique<HashIndex>(nodes_[i].rel,
+                                                  connector_cols[i], ctx);
+      }
+    });
     // Output slots: first node/column providing each head variable.
     for (const std::string& v : head) {
       for (size_t i = 0; i < nodes_.size(); ++i) {
@@ -129,7 +138,7 @@ class ConstantDelayEnumerator : public AnswerEnumerator {
       return;
     }
     const Value* prow = CurrentRow(static_cast<size_t>(parent_[i]));
-    candidates_[i] = &indexes_[i].LookupRow(prow, parent_cols_[i]);
+    candidates_[i] = &indexes_[i]->LookupRow(prow, parent_cols_[i]);
   }
 
   const std::vector<uint32_t>& AllRows(size_t i) {
@@ -153,7 +162,7 @@ class ConstantDelayEnumerator : public AnswerEnumerator {
   std::vector<PreparedAtom> nodes_;  // In top-down join-tree order.
   std::vector<int> parent_;          // Index into nodes_, -1 for root.
   std::vector<std::vector<size_t>> parent_cols_;
-  std::vector<HashIndex> indexes_;
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
   std::vector<const std::vector<uint32_t>*> candidates_;
   std::vector<size_t> pos_;
   std::vector<std::vector<uint32_t>> all_rows_;
@@ -203,8 +212,9 @@ ConjunctiveQuery SubstituteHeadVar(const ConjunctiveQuery& q,
 
 class LinearDelayEnumerator : public AnswerEnumerator {
  public:
-  LinearDelayEnumerator(const ConjunctiveQuery& q, const Database& db)
-      : db_(db) {
+  LinearDelayEnumerator(const ConjunctiveQuery& q, const Database& db,
+                        const ExecContext& ctx)
+      : db_(db), ctx_(ctx) {
     levels_.push_back(Level{q, {}, 0});
     Status st = FillCandidates(&levels_.back());
     ok_ = st.ok();
@@ -261,7 +271,7 @@ class LinearDelayEnumerator : public AnswerEnumerator {
   /// containing it (global consistency makes each one extendable).
   Status FillCandidates(Level* level) {
     if (level->query.arity() == 0) return Status::OK();
-    FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(level->query, db_));
+    FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(level->query, db_, ctx_));
     if (rq.empty) return Status::OK();
     const std::string& var = level->query.head()[0];
     for (const PreparedAtom& a : rq.atoms) {
@@ -278,6 +288,7 @@ class LinearDelayEnumerator : public AnswerEnumerator {
   }
 
   const Database& db_;
+  ExecContext ctx_;  // Shares the pool across the per-step reductions.
   std::vector<Level> levels_;
   Tuple prefix_;
   bool ok_ = true;
@@ -291,7 +302,12 @@ std::unique_ptr<AnswerEnumerator> MakeMaterializedEnumerator(
 }
 
 Result<std::unique_ptr<AnswerEnumerator>> MakeLinearDelayEnumerator(
-    const ConjunctiveQuery& q, const Database& db) {
+    const ConjunctiveQuery& q, const Database& db, const ExecOptions& opts) {
+  return MakeLinearDelayEnumerator(q, db, ExecContext(opts));
+}
+
+Result<std::unique_ptr<AnswerEnumerator>> MakeLinearDelayEnumerator(
+    const ConjunctiveQuery& q, const Database& db, const ExecContext& ctx) {
   FGQ_RETURN_NOT_OK(q.Validate());
   if (q.HasNegation() || !q.comparisons().empty()) {
     return Status::Unsupported("linear-delay enumeration handles plain ACQ");
@@ -300,19 +316,26 @@ Result<std::unique_ptr<AnswerEnumerator>> MakeLinearDelayEnumerator(
     return Status::InvalidArgument("query is not acyclic: " + q.ToString());
   }
   if (q.IsBoolean()) {
-    FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db));
+    FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db, ctx));
     if (rq.empty) {
       return std::unique_ptr<AnswerEnumerator>(new EmptyEnumerator());
     }
     return std::unique_ptr<AnswerEnumerator>(new BooleanTrueEnumerator());
   }
-  auto e = std::make_unique<LinearDelayEnumerator>(q, db);
+  auto e = std::make_unique<LinearDelayEnumerator>(q, db, ctx);
   if (!e->ok()) return Status::Internal("linear-delay preprocessing failed");
   return std::unique_ptr<AnswerEnumerator>(std::move(e));
 }
 
 Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
-                                           const Database& db) {
+                                           const Database& db,
+                                           const ExecOptions& opts) {
+  return BuildFreeConnexPlan(q, db, ExecContext(opts));
+}
+
+Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
+                                           const Database& db,
+                                           const ExecContext& ctx) {
   FGQ_RETURN_NOT_OK(q.Validate());
   if (q.HasNegation() || !q.comparisons().empty()) {
     return Status::Unsupported(
@@ -333,7 +356,7 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
   // reduced atom onto its free variables. Free-connexity makes the
   // projected join equal to phi(D) and its hypergraph acyclic.
   FreeConnexPlan plan;
-  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db));
+  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db, ctx));
   if (rq.empty) {
     plan.empty = true;
     return plan;
@@ -343,21 +366,28 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
   }
 
   std::set<std::string> free(q.head().begin(), q.head().end());
-  std::vector<PreparedAtom> projected;
-  for (const PreparedAtom& a : rq.atoms) {
-    std::vector<std::string> keep;
-    std::vector<size_t> cols;
-    for (size_t c = 0; c < a.vars.size(); ++c) {
-      if (free.count(a.vars[c])) {
-        keep.push_back(a.vars[c]);
-        cols.push_back(c);
+  // One projection task per atom (slots are disjoint; empty slots are
+  // purely existential atoms, reduced away), each morsel-parallel inside.
+  std::vector<PreparedAtom> slots(rq.atoms.size());
+  ParallelFor(ctx.pool(), rq.atoms.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      const PreparedAtom& a = rq.atoms[i];
+      std::vector<std::string> keep;
+      std::vector<size_t> cols;
+      for (size_t c = 0; c < a.vars.size(); ++c) {
+        if (free.count(a.vars[c])) {
+          keep.push_back(a.vars[c]);
+          cols.push_back(c);
+        }
       }
+      if (keep.empty()) continue;
+      slots[i].vars = std::move(keep);
+      slots[i].rel = a.rel.Project(cols, a.rel.name(), ctx);
     }
-    if (keep.empty()) continue;  // Purely existential atom: reduced away.
-    PreparedAtom p;
-    p.vars = std::move(keep);
-    p.rel = a.rel.Project(cols, a.rel.name());
-    projected.push_back(std::move(p));
+  });
+  std::vector<PreparedAtom> projected;
+  for (PreparedAtom& p : slots) {
+    if (!p.vars.empty()) projected.push_back(std::move(p));
   }
   // Absorb projected atoms whose variable set is covered by another atom
   // (they are implied after a semijoin).
@@ -376,7 +406,7 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
       // Strict subset, or equal sets keeping the smaller index.
       if (subset &&
           (projected[i].vars.size() < projected[j].vars.size() || i > j)) {
-        SemijoinReduce(&projected[j], projected[i]);
+        SemijoinReduce(&projected[j], projected[i], ctx);
         covered = true;
       }
     }
@@ -397,15 +427,8 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
 
   // Full reduction among the projected relations (they are individually
   // consistent with full answers but must also be pairwise consistent).
-  for (int e : gyo.tree.BottomUpOrder()) {
-    int p = gyo.tree.parent[e];
-    if (p >= 0) SemijoinReduce(&nodes_raw[p], nodes_raw[e]);
-  }
-  for (int e : gyo.tree.TopDownOrder()) {
-    for (int c : gyo.tree.children[e]) {
-      SemijoinReduce(&nodes_raw[c], nodes_raw[e]);
-    }
-  }
+  SemijoinSweepBottomUp(&nodes_raw, gyo.tree, ctx);
+  SemijoinSweepTopDown(&nodes_raw, gyo.tree, ctx);
   for (const PreparedAtom& p : nodes_raw) {
     if (p.rel.empty()) {
       plan.empty = true;
@@ -428,8 +451,13 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
 }
 
 Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
-    const ConjunctiveQuery& q, const Database& db) {
-  FGQ_ASSIGN_OR_RETURN(FreeConnexPlan plan, BuildFreeConnexPlan(q, db));
+    const ConjunctiveQuery& q, const Database& db, const ExecOptions& opts) {
+  return MakeConstantDelayEnumerator(q, db, ExecContext(opts));
+}
+
+Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
+    const ConjunctiveQuery& q, const Database& db, const ExecContext& ctx) {
+  FGQ_ASSIGN_OR_RETURN(FreeConnexPlan plan, BuildFreeConnexPlan(q, db, ctx));
   if (plan.empty) {
     return std::unique_ptr<AnswerEnumerator>(new EmptyEnumerator());
   }
@@ -437,7 +465,7 @@ Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
     return std::unique_ptr<AnswerEnumerator>(new BooleanTrueEnumerator());
   }
   return std::unique_ptr<AnswerEnumerator>(new ConstantDelayEnumerator(
-      std::move(plan.nodes), std::move(plan.parent), q.head()));
+      std::move(plan.nodes), std::move(plan.parent), q.head(), ctx));
 }
 
 Relation DrainEnumerator(AnswerEnumerator* e, const std::string& name,

@@ -6,6 +6,7 @@
 #include "fgq/db/database.h"
 #include "fgq/eval/prepared.h"
 #include "fgq/query/cq.h"
+#include "fgq/util/exec_options.h"
 #include "fgq/util/status.h"
 
 /// \file enumerate.h
@@ -26,6 +27,12 @@
 ///   the free variables (safe exactly because the query is free-connex);
 ///   the enumeration phase is an odometer walk over hash-indexed
 ///   join-tree nodes in which every probe is guaranteed nonempty.
+///
+/// Factories accept ExecOptions: preprocessing (full reduction, free-
+/// variable projections, hash-index builds) runs morsel-parallel on a
+/// work-stealing pool when num_threads > 1, while the enumeration phase
+/// itself stays single-threaded — the delay guarantees are per answer and
+/// unaffected. The default options reproduce serial behavior bit-for-bit.
 
 namespace fgq {
 
@@ -46,13 +53,19 @@ std::unique_ptr<AnswerEnumerator> MakeMaterializedEnumerator(Relation answers);
 /// Theorem 4.3: linear-preprocessing, linear-delay enumeration for any
 /// acyclic conjunctive query (no negation/comparisons).
 Result<std::unique_ptr<AnswerEnumerator>> MakeLinearDelayEnumerator(
-    const ConjunctiveQuery& q, const Database& db);
+    const ConjunctiveQuery& q, const Database& db,
+    const ExecOptions& opts = ExecOptions());
+Result<std::unique_ptr<AnswerEnumerator>> MakeLinearDelayEnumerator(
+    const ConjunctiveQuery& q, const Database& db, const ExecContext& ctx);
 
 /// Theorem 4.6: linear-preprocessing, constant-delay enumeration for
 /// free-connex acyclic conjunctive queries. Fails with InvalidArgument if
 /// the query is not acyclic or not free-connex.
 Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
-    const ConjunctiveQuery& q, const Database& db);
+    const ConjunctiveQuery& q, const Database& db,
+    const ExecOptions& opts = ExecOptions());
+Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
+    const ConjunctiveQuery& q, const Database& db, const ExecContext& ctx);
 
 /// Drains an enumerator into a relation (test/bench helper).
 Relation DrainEnumerator(AnswerEnumerator* e, const std::string& name,
@@ -72,8 +85,12 @@ struct FreeConnexPlan {
 /// Runs the Theorem 4.6 preprocessing and returns the plan. Fails for
 /// non-acyclic or non-free-connex queries. Boolean queries yield an empty
 /// node list with `empty` reflecting satisfiability.
+Result<FreeConnexPlan> BuildFreeConnexPlan(
+    const ConjunctiveQuery& q, const Database& db,
+    const ExecOptions& opts = ExecOptions());
 Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
-                                           const Database& db);
+                                           const Database& db,
+                                           const ExecContext& ctx);
 
 }  // namespace fgq
 

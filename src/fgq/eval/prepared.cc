@@ -1,12 +1,20 @@
 #include "fgq/eval/prepared.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "fgq/db/index.h"
 #include "fgq/util/hash.h"
 
 namespace fgq {
+
+namespace {
+
+/// Combined row count below which a semijoin/join runs serially.
+constexpr size_t kParallelRowCutoff = size_t{1} << 13;
+
+}  // namespace
 
 int PreparedAtom::VarIndex(const std::string& v) const {
   for (size_t i = 0; i < vars.size(); ++i) {
@@ -24,7 +32,8 @@ std::vector<size_t> PreparedAtom::SharedColumns(
   return out;
 }
 
-Result<PreparedAtom> PrepareAtom(const Atom& atom, const Database& db) {
+Result<PreparedAtom> PrepareAtom(const Atom& atom, const Database& db,
+                                 const ExecContext& ctx) {
   FGQ_ASSIGN_OR_RETURN(const Relation* rel, db.Find(atom.relation));
   if (rel->arity() != atom.arity()) {
     return Status::InvalidArgument(
@@ -46,49 +55,146 @@ Result<PreparedAtom> PrepareAtom(const Atom& atom, const Database& db) {
   }
   out.rel = Relation(atom.relation, out.vars.size());
   const size_t n = rel->NumTuples();
-  Tuple t(out.vars.size());
-  for (size_t i = 0; i < n; ++i) {
-    const Value* row = rel->RowData(i);
-    bool keep = true;
-    for (size_t j = 0; j < atom.args.size() && keep; ++j) {
+
+  // Row admission test: constants must match and repeated variables must
+  // agree with their first occurrence.
+  auto keep_row = [&](const Value* row) {
+    for (size_t j = 0; j < atom.args.size(); ++j) {
       const Term& a = atom.args[j];
       if (!a.is_var()) {
-        keep = row[j] == a.constant;
+        if (row[j] != a.constant) return false;
+        continue;
       }
-    }
-    if (!keep) continue;
-    // Repeated-variable equality: every occurrence must match the first.
-    for (size_t j = 0; j < atom.args.size() && keep; ++j) {
-      const Term& a = atom.args[j];
-      if (a.is_var()) {
-        for (size_t v = 0; v < out.vars.size(); ++v) {
-          if (out.vars[v] == a.var) {
-            keep = row[j] == row[first_col[v]];
-            break;
-          }
+      for (size_t v = 0; v < out.vars.size(); ++v) {
+        if (out.vars[v] == a.var) {
+          if (row[j] != row[first_col[v]]) return false;
+          break;
         }
       }
     }
-    if (!keep) continue;
-    for (size_t v = 0; v < out.vars.size(); ++v) t[v] = row[first_col[v]];
-    out.rel.Add(t);
+    return true;
+  };
+
+  ThreadPool* pool = ctx.pool();
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      n < kParallelRowCutoff) {
+    Tuple t(out.vars.size());
+    for (size_t i = 0; i < n; ++i) {
+      const Value* row = rel->RowData(i);
+      if (!keep_row(row)) continue;
+      for (size_t v = 0; v < out.vars.size(); ++v) t[v] = row[first_col[v]];
+      out.rel.Add(t);
+    }
+  } else {
+    // Morsel-chunked filter/projection: chunk-local buffers stitched back
+    // in input order, so the pre-dedup row order matches the serial scan.
+    const size_t grain = ctx.morsel_size();
+    const size_t num_chunks = (n + grain - 1) / grain;
+    std::vector<Relation> parts(num_chunks,
+                                Relation(atom.relation, out.vars.size()));
+    pool->ParallelFor(n, grain, [&](size_t begin, size_t end) {
+      Relation& part = parts[begin / grain];
+      Tuple t(out.vars.size());
+      for (size_t i = begin; i < end; ++i) {
+        const Value* row = rel->RowData(i);
+        if (!keep_row(row)) continue;
+        for (size_t v = 0; v < out.vars.size(); ++v) t[v] = row[first_col[v]];
+        part.Add(t);
+      }
+    });
+    out.rel.Reserve(n);
+    for (const Relation& part : parts) out.rel.AppendFrom(part);
   }
-  out.rel.SortDedup();
+  out.rel.SortDedup(ctx);
   return out;
 }
 
 Result<std::vector<PreparedAtom>> PrepareAtoms(const ConjunctiveQuery& q,
-                                               const Database& db) {
-  std::vector<PreparedAtom> out;
+                                               const Database& db,
+                                               const ExecContext& ctx) {
+  std::vector<const Atom*> positive;
   for (const Atom& a : q.atoms()) {
-    if (a.negated) continue;
-    FGQ_ASSIGN_OR_RETURN(PreparedAtom pa, PrepareAtom(a, db));
-    out.push_back(std::move(pa));
+    if (!a.negated) positive.push_back(&a);
+  }
+  ThreadPool* pool = ctx.pool();
+  if (pool == nullptr || pool->num_threads() <= 1 || positive.size() <= 1) {
+    std::vector<PreparedAtom> out;
+    out.reserve(positive.size());
+    for (const Atom* a : positive) {
+      FGQ_ASSIGN_OR_RETURN(PreparedAtom pa, PrepareAtom(*a, db, ctx));
+      out.push_back(std::move(pa));
+    }
+    return out;
+  }
+  // One task per atom; each task morsel-chunks its own scan. Slots are
+  // disjoint, so no synchronization beyond the loop barrier is needed.
+  std::vector<std::optional<Result<PreparedAtom>>> slots(positive.size());
+  pool->ParallelFor(positive.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      slots[i].emplace(PrepareAtom(*positive[i], db, ctx));
+    }
+  });
+  std::vector<PreparedAtom> out;
+  out.reserve(positive.size());
+  for (std::optional<Result<PreparedAtom>>& slot : slots) {
+    if (!slot->ok()) return slot->status();
+    out.push_back(std::move(*slot).value());
   }
   return out;
 }
 
-void SemijoinReduce(PreparedAtom* target, const PreparedAtom& source) {
+namespace {
+
+/// Hash-partitioned key set used by the parallel semijoin build: keys are
+/// scattered to shards morsel by morsel, then each shard is populated by
+/// one lane. Membership is deterministic regardless of thread count.
+class ShardedKeySet {
+ public:
+  ShardedKeySet(const Relation& source, const std::vector<size_t>& cols,
+                const ExecContext& ctx) {
+    ThreadPool* pool = ctx.pool();
+    size_t num_shards = 1;
+    while (num_shards < 4 * pool->num_threads()) num_shards <<= 1;
+    mask_ = num_shards - 1;
+    shards_.resize(num_shards);
+
+    const size_t n = source.NumTuples();
+    const size_t grain = ctx.morsel_size();
+    const size_t num_chunks = (n + grain - 1) / grain;
+    std::vector<std::vector<std::vector<Tuple>>> scatter(
+        num_chunks, std::vector<std::vector<Tuple>>(num_shards));
+    pool->ParallelFor(n, grain, [&](size_t begin, size_t end) {
+      std::vector<std::vector<Tuple>>& buckets = scatter[begin / grain];
+      Tuple key(cols.size());
+      for (size_t i = begin; i < end; ++i) {
+        const Value* row = source.RowData(i);
+        for (size_t j = 0; j < cols.size(); ++j) key[j] = row[cols[j]];
+        buckets[static_cast<size_t>(VecHash{}(key)) & mask_].push_back(key);
+      }
+    });
+    pool->ParallelFor(num_shards, 1, [&](size_t sb, size_t se) {
+      for (size_t s = sb; s < se; ++s) {
+        for (size_t c = 0; c < num_chunks; ++c) {
+          for (Tuple& key : scatter[c][s]) shards_[s].insert(std::move(key));
+        }
+      }
+    });
+  }
+
+  bool Contains(const Tuple& key) const {
+    return shards_[static_cast<size_t>(VecHash{}(key)) & mask_].count(key) >
+           0;
+  }
+
+ private:
+  std::vector<std::unordered_set<Tuple, VecHash>> shards_;
+  size_t mask_ = 0;
+};
+
+}  // namespace
+
+void SemijoinReduce(PreparedAtom* target, const PreparedAtom& source,
+                    const ExecContext& ctx) {
   std::vector<size_t> target_cols = target->SharedColumns(source);
   if (target_cols.empty()) {
     // No shared variables: reduction only applies when source is empty
@@ -103,26 +209,50 @@ void SemijoinReduce(PreparedAtom* target, const PreparedAtom& source) {
     source_cols.push_back(
         static_cast<size_t>(source.VarIndex(target->vars[c])));
   }
-  // Hash the source keys.
-  std::unordered_set<Tuple, VecHash> keys;
-  keys.reserve(source.rel.NumTuples());
-  Tuple key(source_cols.size());
-  for (size_t i = 0; i < source.rel.NumTuples(); ++i) {
-    const Value* row = source.rel.RowData(i);
-    for (size_t j = 0; j < source_cols.size(); ++j) key[j] = row[source_cols[j]];
-    keys.insert(key);
-  }
-  Tuple probe(target_cols.size());
-  target->rel.Filter([&](TupleView row) {
-    for (size_t j = 0; j < target_cols.size(); ++j) {
-      probe[j] = row[target_cols[j]];
+
+  ThreadPool* pool = ctx.pool();
+  const size_t ns = source.rel.NumTuples();
+  const size_t nt = target->rel.NumTuples();
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      ns + nt < kParallelRowCutoff) {
+    // Serial path (identical to the historical implementation).
+    std::unordered_set<Tuple, VecHash> keys;
+    keys.reserve(ns);
+    Tuple key(source_cols.size());
+    for (size_t i = 0; i < ns; ++i) {
+      const Value* row = source.rel.RowData(i);
+      for (size_t j = 0; j < source_cols.size(); ++j) {
+        key[j] = row[source_cols[j]];
+      }
+      keys.insert(key);
     }
-    return keys.count(probe) > 0;
-  });
+    Tuple probe(target_cols.size());
+    target->rel.Filter([&](TupleView row) {
+      for (size_t j = 0; j < target_cols.size(); ++j) {
+        probe[j] = row[target_cols[j]];
+      }
+      return keys.count(probe) > 0;
+    });
+    return;
+  }
+
+  // Parallel path: morsel-partitioned hash build, then a parallel probe.
+  ShardedKeySet keys(source.rel, source_cols, ctx);
+  target->rel.Filter(
+      [&](TupleView row) {
+        thread_local Tuple probe;
+        probe.resize(target_cols.size());
+        for (size_t j = 0; j < target_cols.size(); ++j) {
+          probe[j] = row[target_cols[j]];
+        }
+        return keys.Contains(probe);
+      },
+      ctx);
 }
 
 PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
-                         const std::vector<std::string>& keep_vars) {
+                         const std::vector<std::string>& keep_vars,
+                         const ExecContext& ctx) {
   PreparedAtom out;
   out.vars = keep_vars;
   out.rel = Relation("join", keep_vars.size());
@@ -132,7 +262,7 @@ PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
   for (size_t c : left_cols) {
     right_cols.push_back(static_cast<size_t>(right.VarIndex(left.vars[c])));
   }
-  HashIndex right_index(right.rel, right_cols);
+  HashIndex right_index(right.rel, right_cols, ctx);
 
   // Where does each kept variable come from?
   struct Source {
@@ -150,21 +280,120 @@ PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
     }
   }
 
-  Tuple key(left_cols.size());
-  Tuple t(keep_vars.size());
-  for (size_t i = 0; i < left.rel.NumTuples(); ++i) {
-    const Value* lrow = left.rel.RowData(i);
-    for (size_t j = 0; j < left_cols.size(); ++j) key[j] = lrow[left_cols[j]];
-    for (uint32_t ri : right_index.Lookup(key)) {
-      const Value* rrow = right.rel.RowData(ri);
-      for (size_t j = 0; j < sources.size(); ++j) {
-        t[j] = sources[j].from_left ? lrow[sources[j].col] : rrow[sources[j].col];
+  const size_t nl = left.rel.NumTuples();
+  auto probe_range = [&](size_t begin, size_t end, Relation* sink) {
+    Tuple key(left_cols.size());
+    Tuple t(keep_vars.size());
+    for (size_t i = begin; i < end; ++i) {
+      const Value* lrow = left.rel.RowData(i);
+      for (size_t j = 0; j < left_cols.size(); ++j) {
+        key[j] = lrow[left_cols[j]];
       }
-      out.rel.Add(t);
+      for (uint32_t ri : right_index.Lookup(key)) {
+        const Value* rrow = right.rel.RowData(ri);
+        for (size_t j = 0; j < sources.size(); ++j) {
+          t[j] =
+              sources[j].from_left ? lrow[sources[j].col] : rrow[sources[j].col];
+        }
+        sink->Add(t);
+      }
+    }
+  };
+
+  ThreadPool* pool = ctx.pool();
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      nl < kParallelRowCutoff) {
+    probe_range(0, nl, &out.rel);
+  } else {
+    const size_t grain = ctx.morsel_size();
+    const size_t num_chunks = (nl + grain - 1) / grain;
+    std::vector<Relation> parts(num_chunks,
+                                Relation("join", keep_vars.size()));
+    pool->ParallelFor(nl, grain, [&](size_t begin, size_t end) {
+      probe_range(begin, end, &parts[begin / grain]);
+    });
+    for (const Relation& part : parts) out.rel.AppendFrom(part);
+  }
+  out.rel.SortDedup(ctx);
+  return out;
+}
+
+namespace {
+
+/// Depth of every tree node (root depth 0), grouped per level.
+std::vector<std::vector<int>> NodesByDepth(const JoinTree& tree) {
+  std::vector<int> order = tree.TopDownOrder();
+  std::vector<size_t> depth(tree.parent.size(), 0);
+  size_t max_depth = 0;
+  for (int e : order) {
+    if (tree.parent[e] >= 0) {
+      depth[e] = depth[tree.parent[e]] + 1;
+      max_depth = std::max(max_depth, depth[e]);
     }
   }
-  out.rel.SortDedup();
-  return out;
+  std::vector<std::vector<int>> levels(max_depth + 1);
+  for (int e : order) levels[depth[e]].push_back(e);
+  return levels;
+}
+
+}  // namespace
+
+void SemijoinSweepBottomUp(std::vector<PreparedAtom>* atoms,
+                           const JoinTree& tree, const ExecContext& ctx) {
+  if (ctx.pool() == nullptr) {
+    for (int e : tree.BottomUpOrder()) {
+      int p = tree.parent[e];
+      if (p >= 0) SemijoinReduce(&(*atoms)[p], (*atoms)[e], ctx);
+    }
+    return;
+  }
+  // Level-synchronous: all parents of one depth reduce concurrently. A
+  // parent absorbs all of its children in one task (they mutate the same
+  // atom), and distinct parents touch disjoint atoms.
+  std::vector<std::vector<int>> levels = NodesByDepth(tree);
+  for (size_t d = levels.size(); d-- > 0;) {
+    std::vector<int> parents;
+    for (int e : levels[d]) {
+      if (!tree.children[e].empty()) parents.push_back(e);
+    }
+    if (parents.empty()) continue;
+    ctx.pool()->ParallelFor(parents.size(), 1, [&](size_t b, size_t e_) {
+      for (size_t i = b; i < e_; ++i) {
+        const int p = parents[i];
+        for (int c : tree.children[p]) {
+          SemijoinReduce(&(*atoms)[p], (*atoms)[c], ctx);
+        }
+      }
+    });
+  }
+}
+
+void SemijoinSweepTopDown(std::vector<PreparedAtom>* atoms,
+                          const JoinTree& tree, const ExecContext& ctx) {
+  if (ctx.pool() == nullptr) {
+    for (int e : tree.TopDownOrder()) {
+      for (int c : tree.children[e]) {
+        SemijoinReduce(&(*atoms)[c], (*atoms)[e], ctx);
+      }
+    }
+    return;
+  }
+  std::vector<std::vector<int>> levels = NodesByDepth(tree);
+  for (const std::vector<int>& level : levels) {
+    std::vector<int> parents;
+    for (int e : level) {
+      if (!tree.children[e].empty()) parents.push_back(e);
+    }
+    if (parents.empty()) continue;
+    ctx.pool()->ParallelFor(parents.size(), 1, [&](size_t b, size_t e_) {
+      for (size_t i = b; i < e_; ++i) {
+        const int p = parents[i];
+        for (int c : tree.children[p]) {
+          SemijoinReduce(&(*atoms)[c], (*atoms)[p], ctx);
+        }
+      }
+    });
+  }
 }
 
 }  // namespace fgq

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "fgq/db/database.h"
+#include "fgq/hypergraph/hypergraph.h"
 #include "fgq/query/cq.h"
+#include "fgq/util/exec_options.h"
 #include "fgq/util/status.h"
 
 /// \file prepared.h
@@ -17,6 +19,12 @@
 /// one per distinct variable (in first-occurrence order). All downstream
 /// algorithms (Yannakakis, counting DP, enumerators) then reason purely in
 /// terms of variable lists.
+///
+/// Every function takes an optional ExecContext. With a pool, preparation
+/// fans out one task per atom and morsel-chunks the filter/projection scan
+/// inside each atom; semijoins build their key set hash-partitioned by
+/// morsel and probe in parallel. A default (serial) context reproduces the
+/// single-threaded behavior bit-for-bit.
 
 namespace fgq {
 
@@ -37,21 +45,41 @@ struct PreparedAtom {
 
 /// Prepares every positive atom of `q` against `db`. Fails if a referenced
 /// relation is missing or an atom's arity mismatches its relation.
-Result<std::vector<PreparedAtom>> PrepareAtoms(const ConjunctiveQuery& q,
-                                               const Database& db);
+Result<std::vector<PreparedAtom>> PrepareAtoms(
+    const ConjunctiveQuery& q, const Database& db,
+    const ExecContext& ctx = ExecContext());
 
 /// Prepares a single atom.
-Result<PreparedAtom> PrepareAtom(const Atom& atom, const Database& db);
+Result<PreparedAtom> PrepareAtom(const Atom& atom, const Database& db,
+                                 const ExecContext& ctx = ExecContext());
 
 /// Semijoin reduction: keeps the tuples of `target` that agree with some
 /// tuple of `source` on the shared variables. O(|source| + |target|).
-void SemijoinReduce(PreparedAtom* target, const PreparedAtom& source);
+void SemijoinReduce(PreparedAtom* target, const PreparedAtom& source,
+                    const ExecContext& ctx = ExecContext());
 
 /// In-place join of `left` with `right`, projecting the result onto
 /// `keep_vars` (which must be a subset of the union of both variable
 /// lists). Returns the joined PreparedAtom.
 PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
-                         const std::vector<std::string>& keep_vars);
+                         const std::vector<std::string>& keep_vars,
+                         const ExecContext& ctx = ExecContext());
+
+/// The bottom-up semijoin sweep of Yannakakis' full reduction: every
+/// non-root node reduces its parent. With a pool, sibling subtrees are
+/// processed level-synchronously — all parents of one tree depth reduce
+/// concurrently (they write disjoint atoms) — and each semijoin is itself
+/// morsel-parallel. The reduced atoms are identical to the serial sweep's
+/// because semijoins against distinct children commute as row filters.
+void SemijoinSweepBottomUp(std::vector<PreparedAtom>* atoms,
+                           const JoinTree& tree,
+                           const ExecContext& ctx = ExecContext());
+
+/// The top-down sweep: every node reduces its children, root first.
+/// Parallel mode processes each depth level concurrently.
+void SemijoinSweepTopDown(std::vector<PreparedAtom>* atoms,
+                          const JoinTree& tree,
+                          const ExecContext& ctx = ExecContext());
 
 }  // namespace fgq
 

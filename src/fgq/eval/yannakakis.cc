@@ -5,8 +5,13 @@
 
 namespace fgq {
 
-Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q,
-                                const Database& db) {
+Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db,
+                                const ExecOptions& opts) {
+  return FullReduce(q, db, ExecContext(opts));
+}
+
+Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db,
+                                const ExecContext& ctx) {
   if (q.HasNegation()) {
     return Status::Unsupported(
         "Yannakakis handles positive queries; see ncq.h for NCQ");
@@ -19,19 +24,12 @@ Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q,
                                    q.ToString());
   }
   out.tree = std::move(gyo.tree);
-  FGQ_ASSIGN_OR_RETURN(out.atoms, PrepareAtoms(q, db));
+  FGQ_ASSIGN_OR_RETURN(out.atoms, PrepareAtoms(q, db, ctx));
 
-  // Bottom-up sweep: reduce each parent by its children.
-  for (int e : out.tree.BottomUpOrder()) {
-    int p = out.tree.parent[e];
-    if (p >= 0) SemijoinReduce(&out.atoms[p], out.atoms[e]);
-  }
-  // Top-down sweep: reduce each child by its parent.
-  for (int e : out.tree.TopDownOrder()) {
-    for (int c : out.tree.children[e]) {
-      SemijoinReduce(&out.atoms[c], out.atoms[e]);
-    }
-  }
+  // Bottom-up sweep: reduce each parent by its children. Top-down sweep:
+  // reduce each child by its parent. (Level-parallel with a pool.)
+  SemijoinSweepBottomUp(&out.atoms, out.tree, ctx);
+  SemijoinSweepTopDown(&out.atoms, out.tree, ctx);
   for (const PreparedAtom& a : out.atoms) {
     if (a.rel.empty() && a.rel.arity() > 0) {
       out.empty = true;
@@ -48,7 +46,8 @@ namespace {
 /// Joins the subtree rooted at `e` bottom-up, keeping free variables plus
 /// the connector to e's parent.
 PreparedAtom JoinSubtree(const ReducedQuery& rq,
-                         const std::set<std::string>& free, int e) {
+                         const std::set<std::string>& free, int e,
+                         const ExecContext& ctx) {
   PreparedAtom acc = rq.atoms[e];
   // Variables of the parent, used to decide what must be kept.
   std::set<std::string> parent_vars;
@@ -57,7 +56,7 @@ PreparedAtom JoinSubtree(const ReducedQuery& rq,
     parent_vars.insert(rq.atoms[p].vars.begin(), rq.atoms[p].vars.end());
   }
   for (int c : rq.tree.children[e]) {
-    PreparedAtom sub = JoinSubtree(rq, free, c);
+    PreparedAtom sub = JoinSubtree(rq, free, c, ctx);
     // Keep: free variables present on either side, plus variables of e
     // (needed to connect to remaining children and the parent).
     std::vector<std::string> keep;
@@ -75,7 +74,7 @@ PreparedAtom JoinSubtree(const ReducedQuery& rq,
         add(v);
       }
     }
-    acc = JoinProject(acc, sub, keep);
+    acc = JoinProject(acc, sub, keep, ctx);
   }
   // Project away existential variables not needed by the parent.
   std::vector<std::string> keep;
@@ -87,7 +86,7 @@ PreparedAtom JoinSubtree(const ReducedQuery& rq,
     for (const std::string& v : keep) {
       cols.push_back(static_cast<size_t>(acc.VarIndex(v)));
     }
-    acc.rel = acc.rel.Project(cols, acc.rel.name());
+    acc.rel = acc.rel.Project(cols, acc.rel.name(), ctx);
     acc.vars = keep;
   }
   return acc;
@@ -96,14 +95,21 @@ PreparedAtom JoinSubtree(const ReducedQuery& rq,
 }  // namespace
 
 Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
-                                    const Database& db) {
+                                    const Database& db,
+                                    const ExecOptions& opts) {
+  return EvaluateYannakakis(q, db, ExecContext(opts));
+}
+
+Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
+                                    const Database& db,
+                                    const ExecContext& ctx) {
   FGQ_RETURN_NOT_OK(q.Validate());
-  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db));
+  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db, ctx));
   if (rq.empty) {
     return Relation(q.name(), q.arity());
   }
   std::set<std::string> free(q.head().begin(), q.head().end());
-  PreparedAtom joined = JoinSubtree(rq, free, rq.tree.root);
+  PreparedAtom joined = JoinSubtree(rq, free, rq.tree.root, ctx);
 
   // Reorder columns into head order. Boolean query: arity-0 result.
   Relation out(q.name(), q.arity());
@@ -120,18 +126,23 @@ Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
     }
     cols.push_back(static_cast<size_t>(c));
   }
-  out = joined.rel.Project(cols, q.name());
+  out = joined.rel.Project(cols, q.name(), ctx);
   out.set_name(q.name());
   return out;
 }
 
-Result<bool> EvaluateBooleanAcq(const ConjunctiveQuery& q,
-                                const Database& db) {
+Result<bool> EvaluateBooleanAcq(const ConjunctiveQuery& q, const Database& db,
+                                const ExecOptions& opts) {
+  return EvaluateBooleanAcq(q, db, ExecContext(opts));
+}
+
+Result<bool> EvaluateBooleanAcq(const ConjunctiveQuery& q, const Database& db,
+                                const ExecContext& ctx) {
   if (!q.IsBoolean()) {
     return Status::InvalidArgument("query is not Boolean: " + q.ToString());
   }
   // Only the bottom-up sweep is needed for satisfiability.
-  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db));
+  FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db, ctx));
   return !rq.empty;
 }
 

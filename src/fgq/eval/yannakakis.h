@@ -5,6 +5,7 @@
 
 #include "fgq/eval/prepared.h"
 #include "fgq/hypergraph/hypergraph.h"
+#include "fgq/util/exec_options.h"
 
 /// \file yannakakis.h
 /// Yannakakis' algorithm for acyclic conjunctive queries (Theorem 4.2):
@@ -12,6 +13,13 @@
 /// dangling tuple ("full reduction"), after which the answer set can be
 /// assembled by joins whose intermediate results never exceed
 /// ||D|| * ||phi(D)||, for a total of O(||phi|| * ||D|| * ||phi(D)||).
+///
+/// All entry points take ExecOptions: with num_threads > 1 atom
+/// preparation, the two semijoin sweeps (sibling subtrees concurrently,
+/// morsel-parallel within each semijoin) and the assembly joins run on a
+/// work-stealing pool; num_threads = 1 (default) is the serial algorithm
+/// unchanged. Overloads taking an ExecContext reuse an existing pool
+/// (e.g. the Engine's) instead of creating one per call.
 
 namespace fgq {
 
@@ -28,16 +36,26 @@ struct ReducedQuery {
 /// Runs preparation plus the two semijoin sweeps. Fails when the query is
 /// not acyclic, has negated atoms, or references missing relations.
 /// Comparisons are ignored here (callers layering ACQ_!= handle them).
-Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db);
+Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db,
+                                const ExecOptions& opts = ExecOptions());
+Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db,
+                                const ExecContext& ctx);
 
 /// Computes phi(D) for an acyclic query, with columns in head order.
 /// For Boolean queries the result has arity 0 and is nonempty iff D |= phi.
 Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
-                                    const Database& db);
+                                    const Database& db,
+                                    const ExecOptions& opts = ExecOptions());
+Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
+                                    const Database& db,
+                                    const ExecContext& ctx);
 
 /// Model checking for Boolean acyclic queries: only the bottom-up sweep is
 /// needed, giving O(||phi|| * ||D||).
-Result<bool> EvaluateBooleanAcq(const ConjunctiveQuery& q, const Database& db);
+Result<bool> EvaluateBooleanAcq(const ConjunctiveQuery& q, const Database& db,
+                                const ExecOptions& opts = ExecOptions());
+Result<bool> EvaluateBooleanAcq(const ConjunctiveQuery& q, const Database& db,
+                                const ExecContext& ctx);
 
 }  // namespace fgq
 

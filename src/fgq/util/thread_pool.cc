@@ -1,0 +1,180 @@
+#include "fgq/util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fgq {
+
+namespace {
+
+/// Index of the worker owning the current thread, or SIZE_MAX on threads
+/// the pool did not spawn (the "external" caller of ParallelFor).
+thread_local size_t tls_worker_index = static_cast<size_t>(-1);
+
+}  // namespace
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)) {
+  const size_t num_workers = num_threads_ - 1;
+  queues_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  if (queues_.empty()) {
+    // No workers: degenerate pool, run inline.
+    fn();
+    return;
+  }
+  // A worker submits to its own queue (executed FIFO, stolen LIFO);
+  // external threads spray round-robin.
+  size_t q = tls_worker_index;
+  if (q >= queues_.size()) {
+    q = round_robin_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    ++pending_;
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOne() {
+  std::function<void()> task;
+  const size_t self = tls_worker_index;
+  if (self < queues_.size()) {
+    std::lock_guard<std::mutex> lk(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.front());
+      queues_[self]->tasks.pop_front();
+    }
+  }
+  if (!task) {
+    // Steal the newest task of the first non-empty victim queue.
+    const size_t k = queues_.size();
+    const size_t start = self < k ? self + 1 : 0;
+    for (size_t i = 0; i < k && !task; ++i) {
+      Queue& victim = *queues_[(start + i) % k];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+      }
+    }
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    --pending_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker_index = index;
+  for (;;) {
+    while (TryRunOne()) {
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    sleep_cv_.wait(lk, [this]() { return stop_ || pending_ > 0; });
+    if (stop_) break;
+  }
+  // Drain whatever is still queued so submitted futures always resolve.
+  while (TryRunOne()) {
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_morsels = (n + grain - 1) / grain;
+  if (num_morsels <= 1 || workers_.empty()) {
+    body(0, n);
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t outstanding = 0;
+    std::exception_ptr err;
+  };
+  auto state = std::make_shared<LoopState>();
+  const std::function<void(size_t, size_t)>* body_ptr = &body;
+
+  // Claim-and-run loop shared by the caller and the helper tasks: morsels
+  // are handed out by an atomic cursor, so a fast thread simply claims
+  // more of them (dynamic load balancing at morsel granularity).
+  auto drain = [state, body_ptr, n, grain, num_morsels]() {
+    size_t m;
+    while ((m = state->next.fetch_add(1, std::memory_order_relaxed)) <
+           num_morsels) {
+      const size_t begin = m * grain;
+      const size_t end = std::min(n, begin + grain);
+      try {
+        (*body_ptr)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(state->mu);
+        if (!state->err) state->err = std::current_exception();
+        state->next.store(num_morsels, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const size_t num_helpers = std::min(workers_.size(), num_morsels - 1);
+  state->outstanding = num_helpers;
+  for (size_t h = 0; h < num_helpers; ++h) {
+    Enqueue([state, drain]() {
+      drain();
+      std::lock_guard<std::mutex> lk(state->mu);
+      if (--state->outstanding == 0) state->done_cv.notify_all();
+    });
+  }
+  drain();
+
+  // Wait for the helpers. They may be queued behind unrelated tasks (or
+  // behind tasks blocked in a nested ParallelFor), so cooperatively run
+  // queued work instead of sleeping — this is what makes nested parallel
+  // loops deadlock-free.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(state->mu);
+      if (state->outstanding == 0) break;
+    }
+    if (!TryRunOne()) {
+      std::unique_lock<std::mutex> lk(state->mu);
+      if (state->outstanding == 0) break;
+      state->done_cv.wait_for(lk, std::chrono::microseconds(200));
+    }
+  }
+  if (state->err) std::rethrow_exception(state->err);
+}
+
+}  // namespace fgq

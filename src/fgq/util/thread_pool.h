@@ -1,0 +1,105 @@
+#ifndef FGQ_UTIL_THREAD_POOL_H_
+#define FGQ_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+/// \file thread_pool.h
+/// Work-stealing thread pool and morsel-driven parallel loops.
+///
+/// The pool backs the parallel evaluation core: atom preparation, semijoin
+/// sweeps, sort/dedup and hash-index builds all decompose into independent
+/// morsels (fixed-size row ranges) claimed dynamically by whichever thread
+/// is free, in the style of morsel-driven query execution. Each worker owns
+/// a deque; it executes its own tasks FIFO and steals the newest task from
+/// a victim when its deque runs dry. Blocking calls (ParallelFor, and any
+/// task that itself waits on nested parallel work) cooperatively execute
+/// queued tasks while waiting, so nested parallelism cannot deadlock.
+///
+/// Every algorithm built on the pool is deterministic: morsels only write
+/// thread-private buffers that are concatenated in morsel order, or
+/// disjoint slots, so results are identical for any thread count.
+
+namespace fgq {
+
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` total execution lanes: `num_threads - 1`
+  /// worker threads are spawned, the caller of ParallelFor is the last
+  /// lane. `num_threads <= 1` spawns nothing and runs everything inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareThreads();
+
+  /// Schedules `fn` on a worker and returns its future. Exceptions thrown
+  /// by `fn` surface from future::get(). Runs inline when the pool has no
+  /// workers. Tasks submitted from one thread to one worker run FIFO.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Runs `body(begin, end)` over [0, n) split into `grain`-sized morsels.
+  /// Morsels are claimed dynamically by the caller plus idle workers;
+  /// the call blocks until every morsel finished and rethrows the first
+  /// exception any morsel threw (remaining morsels are then cancelled).
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void Enqueue(std::function<void()> fn);
+  /// Claims one queued task (own queue FIFO, then steal newest from a
+  /// victim) and runs it. Returns false when every queue is empty.
+  bool TryRunOne();
+  void WorkerLoop(size_t index);
+
+  size_t num_threads_ = 1;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  size_t pending_ = 0;  // Queued-but-unclaimed tasks; guarded by sleep_mu_.
+  bool stop_ = false;   // Guarded by sleep_mu_.
+  std::atomic<size_t> round_robin_{0};
+};
+
+/// Serial-fallback wrapper: runs `body(0, n)` inline when `pool` is null,
+/// single-threaded, or the range fits in one morsel.
+inline void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= grain) {
+    body(0, n);
+    return;
+  }
+  pool->ParallelFor(n, grain, body);
+}
+
+}  // namespace fgq
+
+#endif  // FGQ_UTIL_THREAD_POOL_H_

@@ -1,0 +1,316 @@
+// Parallel execution: thread-pool unit tests plus serial-vs-parallel
+// equivalence for every engine that takes ExecOptions. The equivalence
+// tests are the contract behind DESIGN.md's determinism claim: the same
+// query on the same database yields identical answer sets at 1, 2 and 8
+// threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fgq/count/acq_count.h"
+#include "fgq/eval/engine.h"
+#include "fgq/eval/enumerate.h"
+#include "fgq/eval/yannakakis.h"
+#include "fgq/query/parser.h"
+#include "fgq/util/thread_pool.h"
+#include "fgq/workload/generators.h"
+
+namespace fgq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool unit tests.
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(4);
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroTaskShutdown) {
+  // Construct and immediately destroy pools of every size; the destructor
+  // must join cleanly with no tasks ever submitted.
+  for (size_t n = 1; n <= 8; ++n) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(1000, 10,
+                                [&](size_t begin, size_t) {
+                                  if (begin >= 500) {
+                                    throw std::runtime_error("body failed");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Inner ParallelFor calls run from within outer tasks; the caller-runs
+  // protocol must keep making progress even with more nested loops than
+  // workers.
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(64, 8, [&](size_t b, size_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8u * 64u);
+}
+
+TEST(ThreadPool, FreeParallelForRunsInlineWithoutPool) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, hits.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Serial-vs-parallel equivalence.
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto r = ParseConjunctiveQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+std::string Key(Relation r) {
+  r.SortDedup();
+  std::string s = std::to_string(r.NumTuples()) + ":";
+  for (size_t i = 0; i < r.NumTuples(); ++i) {
+    for (size_t j = 0; j < r.arity(); ++j) {
+      s += std::to_string(r.Row(i)[j]) + ",";
+    }
+    s += ";";
+  }
+  return s;
+}
+
+// Thread counts exercised by every equivalence test: serial baseline,
+// minimal parallelism, oversubscription.
+const int kThreadCounts[] = {1, 2, 8};
+
+// A small morsel size so that even modest test databases split into many
+// morsels and genuinely exercise the parallel paths.
+ExecOptions Opts(int threads) {
+  ExecOptions o;
+  o.num_threads = threads;
+  o.morsel_size = 64;
+  return o;
+}
+
+struct Workload {
+  std::string label;
+  ConjunctiveQuery query;
+  Database db;
+};
+
+std::vector<Workload> EquivalenceWorkloads() {
+  std::vector<Workload> w;
+  Rng rng(20260805);
+  w.push_back({"path3", PathQuery(3), PathDatabase(3, 3000, 200, &rng)});
+  w.push_back({"fullpath3", FullPathQuery(3), PathDatabase(3, 3000, 200, &rng)});
+  w.push_back({"star3", StarQuery(3), PathDatabase(3, 2000, 300, &rng)});
+  w.push_back({"figure1", Figure1Query(), Figure1Database(3000, 150, &rng)});
+  // Boolean variant of the path query.
+  w.push_back({"bool-path3",
+               Q("Q() :- E1(x1, x2), E2(x2, x3), E3(x3, x4)."),
+               PathDatabase(3, 3000, 5000, &rng)});
+  // Empty-result instance: disjoint domains make the join empty.
+  Database disjoint;
+  {
+    Relation a("E1", 2), b("E2", 2);
+    for (Value v = 0; v < 500; ++v) a.Add({v, v + 1});
+    for (Value v = 10'000; v < 10'500; ++v) b.Add({v, v + 1});
+    disjoint.PutRelation(a);
+    disjoint.PutRelation(b);
+  }
+  w.push_back({"empty", Q("Q(x, z) :- E1(x, y), E2(y, z)."), disjoint});
+  return w;
+}
+
+TEST(ParallelEquivalence, EvaluateYannakakis) {
+  for (const Workload& w : EquivalenceWorkloads()) {
+    auto serial = EvaluateYannakakis(w.query, w.db);
+    ASSERT_TRUE(serial.ok()) << w.label << ": " << serial.status();
+    const std::string want = Key(*serial);
+    for (int t : kThreadCounts) {
+      auto par = EvaluateYannakakis(w.query, w.db, Opts(t));
+      ASSERT_TRUE(par.ok()) << w.label << "@" << t << ": " << par.status();
+      EXPECT_EQ(Key(*par), want) << w.label << " at " << t << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, FullReduceAtomSets) {
+  for (const Workload& w : EquivalenceWorkloads()) {
+    auto serial = FullReduce(w.query, w.db);
+    ASSERT_TRUE(serial.ok()) << w.label << ": " << serial.status();
+    for (int t : kThreadCounts) {
+      auto par = FullReduce(w.query, w.db, Opts(t));
+      ASSERT_TRUE(par.ok()) << w.label << "@" << t << ": " << par.status();
+      EXPECT_EQ(par->empty, serial->empty) << w.label;
+      ASSERT_EQ(par->atoms.size(), serial->atoms.size()) << w.label;
+      for (size_t i = 0; i < serial->atoms.size(); ++i) {
+        EXPECT_EQ(Key(par->atoms[i].rel), Key(serial->atoms[i].rel))
+            << w.label << " atom " << i << " at " << t << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, Enumerators) {
+  for (const Workload& w : EquivalenceWorkloads()) {
+    const size_t arity = w.query.arity();
+    auto make = [&](int t) -> Result<std::unique_ptr<AnswerEnumerator>> {
+      if (IsFreeConnex(w.query)) {
+        return MakeConstantDelayEnumerator(w.query, w.db, Opts(t));
+      }
+      return MakeLinearDelayEnumerator(w.query, w.db, Opts(t));
+    };
+    auto serial = make(1);
+    ASSERT_TRUE(serial.ok()) << w.label << ": " << serial.status();
+    const std::string want =
+        Key(DrainEnumerator(serial->get(), w.query.name(), arity));
+    for (int t : kThreadCounts) {
+      auto par = make(t);
+      ASSERT_TRUE(par.ok()) << w.label << "@" << t << ": " << par.status();
+      EXPECT_EQ(Key(DrainEnumerator(par->get(), w.query.name(), arity)), want)
+          << w.label << " at " << t << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, EngineExecute) {
+  for (const Workload& w : EquivalenceWorkloads()) {
+    Engine serial;
+    auto want = serial.Execute(w.query, w.db);
+    ASSERT_TRUE(want.ok()) << w.label << ": " << want.status();
+    for (int t : kThreadCounts) {
+      Engine engine(Opts(t));
+      auto got = engine.Execute(w.query, w.db);
+      ASSERT_TRUE(got.ok()) << w.label << "@" << t << ": " << got.status();
+      EXPECT_EQ(got->classification, want->classification) << w.label;
+      EXPECT_EQ(Key(got->answers), Key(want->answers))
+          << w.label << " at " << t << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, EngineCountMatchesExecute) {
+  for (const Workload& w : EquivalenceWorkloads()) {
+    Engine engine(Opts(8));
+    auto res = engine.Execute(w.query, w.db);
+    ASSERT_TRUE(res.ok()) << w.label << ": " << res.status();
+    auto count = engine.Count(w.query, w.db);
+    ASSERT_TRUE(count.ok()) << w.label << ": " << count.status();
+    if (w.query.IsBoolean()) {
+      EXPECT_EQ(*count == BigInt(0), !res->BooleanValue()) << w.label;
+    } else {
+      EXPECT_EQ(*count, BigInt(static_cast<int64_t>(res->NumAnswers())))
+          << w.label;
+    }
+  }
+}
+
+// One engine, shared pool, many queries back to back: exercises pool reuse
+// across Execute calls.
+TEST(ParallelEquivalence, EngineReuseAcrossQueries) {
+  Engine engine(Opts(4));
+  Engine ref;
+  for (int round = 0; round < 3; ++round) {
+    for (const Workload& w : EquivalenceWorkloads()) {
+      auto got = engine.Execute(w.query, w.db);
+      auto want = ref.Execute(w.query, w.db);
+      ASSERT_TRUE(got.ok() && want.ok()) << w.label;
+      EXPECT_EQ(Key(got->answers), Key(want->answers)) << w.label;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine classification.
+
+TEST(Engine, Classify) {
+  EXPECT_EQ(Engine::Classify(Q("Q() :- E(x, y).")),
+            QueryClass::kBooleanAcyclic);
+  EXPECT_EQ(Engine::Classify(Q("Q(x) :- E(x, y).")),
+            QueryClass::kFreeConnexAcyclic);
+  EXPECT_EQ(Engine::Classify(PathQuery(2)), QueryClass::kGeneralAcyclic);
+  EXPECT_EQ(Engine::Classify(Q("Q(x) :- E(x, y), x != y.")),
+            QueryClass::kAcyclicDisequalities);
+  EXPECT_EQ(Engine::Classify(Q("Q(x) :- E(x, y), x < y.")),
+            QueryClass::kAcyclicOrderComparisons);
+  EXPECT_EQ(Engine::Classify(Q("Q(x) :- E(x, y), not F(x).")),
+            QueryClass::kNegated);
+  EXPECT_EQ(Engine::Classify(
+                Q("Q() :- E(x, y), E(y, z), E(z, x).")),
+            QueryClass::kCyclic);
+  for (QueryClass c :
+       {QueryClass::kBooleanAcyclic, QueryClass::kFreeConnexAcyclic,
+        QueryClass::kGeneralAcyclic, QueryClass::kAcyclicDisequalities,
+        QueryClass::kAcyclicOrderComparisons, QueryClass::kNegated,
+        QueryClass::kCyclic}) {
+    EXPECT_STRNE(QueryClassName(c), "unknown");
+  }
+}
+
+TEST(Engine, EnumerateMatchesExecute) {
+  Rng rng(7);
+  Database db = PathDatabase(2, 500, 60, &rng);
+  Engine engine(Opts(2));
+  for (const ConjunctiveQuery& q :
+       {PathQuery(2), FullPathQuery(2), Q("Q(x) :- E1(x, y), x != y.")}) {
+    auto res = engine.Execute(q, db);
+    ASSERT_TRUE(res.ok()) << q.ToString() << ": " << res.status();
+    auto e = engine.Enumerate(q, db);
+    ASSERT_TRUE(e.ok()) << q.ToString() << ": " << e.status();
+    Relation drained = DrainEnumerator(e->get(), q.name(), q.arity());
+    EXPECT_EQ(Key(drained), Key(res->answers)) << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace fgq
