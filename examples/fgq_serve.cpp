@@ -1,0 +1,135 @@
+// A line-protocol front end over fgq::QueryService.
+//
+// Where query_shell runs each query inline, fgq_serve pushes every request
+// through the full serving stack: classification, admission control, plan
+// caching, deadlines, and metrics. Repeating a query hits the plan cache;
+// `\stats` shows the counters; `deadline` makes hopeless cyclic queries
+// fail fast instead of hanging the session.
+//
+//   ./build/examples/fgq_serve < script.txt
+//
+// Commands:
+//   fact <Rel> <v1> <v2> ...   add a fact (bumps the db version,
+//                              invalidating cached plans)
+//   load <path>                load a fact file
+//   query <rule>               evaluate, e.g. query Q(x) :- R(x, y).
+//   count <rule>               count answers
+//   deadline <ms>              per-request deadline for later queries
+//                              (0 = none)
+//   \stats                     dump metrics + cache occupancy
+//   help / quit
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fgq/db/loader.h"
+#include "fgq/query/parser.h"
+#include "fgq/serve/query_service.h"
+
+using namespace fgq;
+
+namespace {
+
+void PrintTuple(const Tuple& t, const Dictionary& dict) {
+  std::cout << "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i) std::cout << ", ";
+    if (t[i] >= 0 && static_cast<size_t>(t[i]) < dict.size()) {
+      std::cout << dict.Lookup(t[i]);
+    } else {
+      std::cout << t[i];
+    }
+  }
+  std::cout << ")";
+}
+
+void PrintResponse(const ServiceResponse& resp, ServeVerb verb,
+                   const Dictionary& dict) {
+  std::cout << "  class: " << QueryClassName(resp.classification)
+            << (resp.cache_hit ? " [cache hit]" : " [cache miss]") << "\n";
+  if (!resp.status.ok()) {
+    std::cout << "  error: " << resp.status << "\n";
+    return;
+  }
+  if (verb == ServeVerb::kCount) {
+    std::cout << "  |phi(D)| = " << resp.count << "\n";
+    return;
+  }
+  std::cout << "  engine: " << resp.algorithm << ", "
+            << resp.answers->NumTuples() << " answers\n";
+  const size_t limit = 20;
+  for (size_t i = 0; i < std::min(limit, resp.answers->NumTuples()); ++i) {
+    std::cout << "    ";
+    PrintTuple(resp.answers->Row(i).ToTuple(), dict);
+    std::cout << "\n";
+  }
+  if (resp.answers->NumTuples() > limit) std::cout << "    ...\n";
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  Dictionary dict;
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  QueryService service(&db, opts);
+  std::chrono::milliseconds deadline{0};
+  std::string line;
+  std::cout << "fgq serve — 'help' for commands\n";
+  while (std::getline(std::cin, line)) {
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::cout << "fact <Rel> <v>... | load <path> | query <rule> | "
+                   "count <rule> | deadline <ms> | \\stats | quit\n";
+      continue;
+    }
+    if (cmd == "\\stats") {
+      std::cout << service.StatsDump();
+      continue;
+    }
+    std::string rest;
+    std::getline(ls, rest);
+    if (cmd == "fact") {
+      // A mutation: the db version bump invalidates every cached plan.
+      Status st = LoadFactsFromString(rest, &db, &dict, "<stdin>");
+      if (!st.ok()) std::cout << "  " << st << "\n";
+      continue;
+    }
+    if (cmd == "load") {
+      std::istringstream rs(rest);
+      std::string path;
+      rs >> path;
+      Status st = LoadFactsFromFile(path, &db, &dict);
+      if (!st.ok()) std::cout << "  " << st << "\n";
+      continue;
+    }
+    if (cmd == "deadline") {
+      deadline = std::chrono::milliseconds(std::stoll(rest));
+      std::cout << "  deadline: " << deadline.count() << " ms\n";
+      continue;
+    }
+    if (cmd == "query" || cmd == "count") {
+      auto q = ParseConjunctiveQuery(rest);
+      if (!q.ok()) {
+        std::cout << "  " << q.status() << "\n";
+        continue;
+      }
+      ServiceRequest req;
+      req.query = std::move(q).value();
+      req.verb = cmd == "count" ? ServeVerb::kCount : ServeVerb::kRows;
+      req.timeout = deadline;
+      ServiceResponse resp = service.Call(std::move(req));
+      PrintResponse(resp, cmd == "count" ? ServeVerb::kCount : ServeVerb::kRows,
+                    dict);
+      continue;
+    }
+    std::cout << "  unknown command '" << cmd << "' — try 'help'\n";
+  }
+  return 0;
+}

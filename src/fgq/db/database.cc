@@ -13,12 +13,14 @@ Status Database::AddRelation(Relation rel) {
   if (!inserted) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
+  ++version_;
   return Status::OK();
 }
 
 void Database::PutRelation(Relation rel) {
   std::string name = rel.name();
   relations_.insert_or_assign(std::move(name), std::move(rel));
+  ++version_;
 }
 
 Result<const Relation*> Database::Find(const std::string& name) const {
@@ -34,6 +36,7 @@ Result<Relation*> Database::FindMutable(const std::string& name) {
   if (it == relations_.end()) {
     return Status::NotFound("relation '" + name + "' not found");
   }
+  ++version_;
   return &it->second;
 }
 

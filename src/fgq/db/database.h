@@ -1,6 +1,7 @@
 #ifndef FGQ_DB_DATABASE_H_
 #define FGQ_DB_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,6 +16,14 @@
 namespace fgq {
 
 /// A finite relational structure.
+///
+/// The database carries a monotonic *version* counter, bumped by every
+/// mutating entry point (AddRelation, PutRelation, FindMutable,
+/// DeclareDomainSize). The serving layer keys cached plans by
+/// (canonical query, version), so any mutation — even one that does not
+/// change a queried relation — conservatively invalidates every cached
+/// plan. Mutation is not thread-safe and must not race with readers;
+/// version() may be read concurrently between mutations.
 class Database {
  public:
   /// Adds a relation; fails if a relation with the same name exists.
@@ -27,7 +36,12 @@ class Database {
   Result<const Relation*> Find(const std::string& name) const;
 
   /// Mutable lookup (used by rewriting passes that enrich the database).
+  /// Conservatively counts as a mutation: the version is bumped even if
+  /// the caller never writes through the returned pointer.
   Result<Relation*> FindMutable(const std::string& name);
+
+  /// Monotonic mutation counter, starting at 1 for a fresh database.
+  uint64_t version() const { return version_; }
 
   bool Has(const std::string& name) const {
     return relations_.count(name) > 0;
@@ -42,7 +56,10 @@ class Database {
   Value DomainSize() const;
 
   /// Declares that the domain is [0, n) even if not all values occur.
-  void DeclareDomainSize(Value n) { declared_domain_ = n; }
+  void DeclareDomainSize(Value n) {
+    declared_domain_ = n;
+    ++version_;
+  }
 
   /// ||D|| in the paper's size measure (Section 2.1).
   size_t SizeWeight() const;
@@ -56,6 +73,7 @@ class Database {
  private:
   std::map<std::string, Relation> relations_;
   Value declared_domain_ = 0;
+  uint64_t version_ = 1;
 };
 
 }  // namespace fgq

@@ -21,10 +21,22 @@ bool ParseInteger(const std::string& tok, Value* out) {
   return true;
 }
 
+/// True for identifiers acceptable as relation names: leading letter or
+/// underscore. Rejects stray data lines (e.g. a line of bare integers).
+bool ValidRelationName(const std::string& tok) {
+  unsigned char c = static_cast<unsigned char>(tok[0]);
+  return std::isalpha(c) || tok[0] == '_';
+}
+
+std::string At(const std::string& source, size_t lineno) {
+  return source + ":" + std::to_string(lineno) + ": ";
+}
+
 }  // namespace
 
 Status LoadFactsFromString(const std::string& text, Database* db,
-                           Dictionary* dict) {
+                           Dictionary* dict,
+                           const std::string& source_name) {
   std::istringstream in(text);
   std::string line;
   size_t lineno = 0;
@@ -33,6 +45,12 @@ Status LoadFactsFromString(const std::string& text, Database* db,
     std::istringstream ls(line);
     std::string rel_name;
     if (!(ls >> rel_name) || rel_name[0] == '#') continue;
+    if (!ValidRelationName(rel_name)) {
+      return Status::ParseError(At(source_name, lineno) +
+                                "malformed fact line: expected a relation "
+                                "name, got '" +
+                                rel_name + "'");
+    }
     std::vector<Value> values;
     std::string tok;
     while (ls >> tok) {
@@ -45,10 +63,10 @@ Status LoadFactsFromString(const std::string& text, Database* db,
     }
     Relation* rel = db->FindMutable(rel_name).value();
     if (rel->arity() != values.size()) {
-      return Status::ParseError("line " + std::to_string(lineno) +
-                                ": arity mismatch for relation '" + rel_name +
-                                "' (expected " + std::to_string(rel->arity()) +
-                                ", got " + std::to_string(values.size()) + ")");
+      return Status::ParseError(
+          At(source_name, lineno) + "arity mismatch for relation '" +
+          rel_name + "' (expected " + std::to_string(rel->arity()) +
+          ", got " + std::to_string(values.size()) + ")");
     }
     rel->Add(values);
   }
@@ -61,7 +79,7 @@ Status LoadFactsFromFile(const std::string& path, Database* db,
   if (!f) return Status::NotFound("cannot open '" + path + "'");
   std::stringstream buf;
   buf << f.rdbuf();
-  return LoadFactsFromString(buf.str(), db, dict);
+  return LoadFactsFromString(buf.str(), db, dict, path);
 }
 
 }  // namespace fgq

@@ -61,6 +61,12 @@ Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
   return ExecuteWith(q, db, ExecContext(opts));
 }
 
+Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
+                                    const Database& db,
+                                    const CancelToken& cancel) const {
+  return ExecuteWith(q, db, ctx_.WithCancel(cancel));
+}
+
 Result<QueryResult> Engine::ExecuteWith(const ConjunctiveQuery& q,
                                         const Database& db,
                                         const ExecContext& ctx) const {
@@ -94,7 +100,8 @@ Result<QueryResult> Engine::ExecuteWith(const ConjunctiveQuery& q,
     case QueryClass::kAcyclicOrderComparisons:
     case QueryClass::kNegated:
     case QueryClass::kCyclic: {
-      FGQ_ASSIGN_OR_RETURN(res.answers, EvaluateBacktrack(q, db));
+      FGQ_ASSIGN_OR_RETURN(res.answers,
+                           EvaluateBacktrack(q, db, ctx.cancel()));
       res.algorithm = "backtracking-oracle";
       return res;
     }

@@ -8,6 +8,7 @@
 #include "fgq/eval/enumerate.h"
 #include "fgq/query/cq.h"
 #include "fgq/util/bigint.h"
+#include "fgq/util/cancel.h"
 #include "fgq/util/exec_options.h"
 #include "fgq/util/status.h"
 
@@ -92,6 +93,12 @@ class Engine {
   /// requested thread count differs from the engine's).
   Result<QueryResult> Execute(const ConjunctiveQuery& q, const Database& db,
                               const ExecOptions& opts) const;
+  /// Same, polling `cancel` in the evaluation loops: a tripped token makes
+  /// the call return DeadlineExceeded/Cancelled (with partial-work
+  /// accounting in the message) instead of running to completion. This is
+  /// the entry point the serving layer uses to enforce request deadlines.
+  Result<QueryResult> Execute(const ConjunctiveQuery& q, const Database& db,
+                              const CancelToken& cancel) const;
 
   /// Counts |phi(D)| without materializing answers: counting DP for
   /// acyclic queries (Theorems 4.21/4.28), oracle fallback otherwise.

@@ -42,54 +42,22 @@ class MaterializedEnumerator : public AnswerEnumerator {
 /// hash-indexed node per join-tree vertex, walked as an odometer. After
 /// full reduction every index probe is nonempty, so producing the next
 /// answer touches at most O(#nodes) state — independent of the data.
-class ConstantDelayEnumerator : public AnswerEnumerator {
+///
+/// All data-dependent state (nodes, indexes, root candidate lists) lives
+/// in the shared immutable IndexedFreeConnexPlan; the cursor holds only
+/// query-sized odometer state, so many cursors — possibly on different
+/// request threads — can walk one cached plan concurrently.
+class PlanCursorEnumerator : public AnswerEnumerator {
  public:
-  ConstantDelayEnumerator(std::vector<PreparedAtom> nodes,
-                          std::vector<int> parent,
-                          std::vector<std::string> head,
-                          const ExecContext& ctx)
-      : nodes_(std::move(nodes)), parent_(std::move(parent)) {
-    // Per-node index keyed by the connector with the parent. Column
-    // bookkeeping is query-sized; the O(||D||) hash-index builds fan out
-    // one task per node, each build itself morsel-parallel.
-    std::vector<std::vector<size_t>> connector_cols(nodes_.size());
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      std::vector<size_t> parent_cols;
-      if (parent_[i] >= 0) {
-        const PreparedAtom& p = nodes_[parent_[i]];
-        for (size_t c = 0; c < nodes_[i].vars.size(); ++c) {
-          int pc = p.VarIndex(nodes_[i].vars[c]);
-          if (pc >= 0) {
-            connector_cols[i].push_back(c);
-            parent_cols.push_back(static_cast<size_t>(pc));
-          }
-        }
-      }
-      parent_cols_.push_back(std::move(parent_cols));
-      candidates_.push_back(nullptr);
-      pos_.push_back(0);
-    }
-    indexes_.resize(nodes_.size());
-    ParallelFor(ctx.pool(), nodes_.size(), 1, [&](size_t b, size_t e) {
-      for (size_t i = b; i < e; ++i) {
-        indexes_[i] = std::make_unique<HashIndex>(nodes_[i].rel,
-                                                  connector_cols[i], ctx);
-      }
-    });
-    // Output slots: first node/column providing each head variable.
-    for (const std::string& v : head) {
-      for (size_t i = 0; i < nodes_.size(); ++i) {
-        int c = nodes_[i].VarIndex(v);
-        if (c >= 0) {
-          out_slots_.push_back({i, static_cast<size_t>(c)});
-          break;
-        }
-      }
-    }
-    exhausted_ = nodes_.empty() || nodes_[0].rel.empty();
+  explicit PlanCursorEnumerator(
+      std::shared_ptr<const IndexedFreeConnexPlan> plan)
+      : plan_(std::move(plan)),
+        candidates_(plan_->nodes.size(), nullptr),
+        pos_(plan_->nodes.size(), 0) {
+    exhausted_ = plan_->empty || plan_->nodes.empty();
     if (!exhausted_) {
       // Position the odometer on the first answer.
-      for (size_t i = 0; i < nodes_.size(); ++i) {
+      for (size_t i = 0; i < plan_->nodes.size(); ++i) {
         Refill(i);
         pos_[i] = 0;
       }
@@ -101,11 +69,11 @@ class ConstantDelayEnumerator : public AnswerEnumerator {
     if (exhausted_) return false;
     if (!primed_) {
       // Advance: increment from the deepest level.
-      size_t level = nodes_.size();
+      size_t level = plan_->nodes.size();
       while (level-- > 0) {
         if (pos_[level] + 1 < candidates_[level]->size()) {
           ++pos_[level];
-          for (size_t j = level + 1; j < nodes_.size(); ++j) {
+          for (size_t j = level + 1; j < plan_->nodes.size(); ++j) {
             Refill(j);
             pos_[j] = 0;
           }
@@ -127,46 +95,31 @@ class ConstantDelayEnumerator : public AnswerEnumerator {
 
  private:
   const Value* CurrentRow(size_t node) const {
-    return nodes_[node].rel.RowData((*candidates_[node])[pos_[node]]);
+    return plan_->nodes[node].rel.RowData((*candidates_[node])[pos_[node]]);
   }
 
   /// Recomputes node i's candidate list from its parent's current row.
   /// Nonempty by full reduction.
   void Refill(size_t i) {
-    if (parent_[i] < 0) {
-      candidates_[i] = &AllRows(i);
+    if (plan_->parent[i] < 0) {
+      candidates_[i] = &plan_->root_rows[i];
       return;
     }
-    const Value* prow = CurrentRow(static_cast<size_t>(parent_[i]));
-    candidates_[i] = &indexes_[i]->LookupRow(prow, parent_cols_[i]);
-  }
-
-  const std::vector<uint32_t>& AllRows(size_t i) {
-    if (all_rows_.size() <= i) all_rows_.resize(nodes_.size());
-    if (all_rows_[i].empty() && !nodes_[i].rel.empty()) {
-      all_rows_[i].resize(nodes_[i].rel.NumTuples());
-      for (size_t r = 0; r < all_rows_[i].size(); ++r) {
-        all_rows_[i][r] = static_cast<uint32_t>(r);
-      }
-    }
-    return all_rows_[i];
+    const Value* prow = CurrentRow(static_cast<size_t>(plan_->parent[i]));
+    candidates_[i] = &plan_->indexes[i]->LookupRow(prow, plan_->parent_cols[i]);
   }
 
   void Emit(Tuple* out) {
-    out->resize(out_slots_.size());
-    for (size_t i = 0; i < out_slots_.size(); ++i) {
-      (*out)[i] = CurrentRow(out_slots_[i].first)[out_slots_[i].second];
+    out->resize(plan_->out_slots.size());
+    for (size_t i = 0; i < plan_->out_slots.size(); ++i) {
+      (*out)[i] =
+          CurrentRow(plan_->out_slots[i].first)[plan_->out_slots[i].second];
     }
   }
 
-  std::vector<PreparedAtom> nodes_;  // In top-down join-tree order.
-  std::vector<int> parent_;          // Index into nodes_, -1 for root.
-  std::vector<std::vector<size_t>> parent_cols_;
-  std::vector<std::unique_ptr<HashIndex>> indexes_;
+  std::shared_ptr<const IndexedFreeConnexPlan> plan_;
   std::vector<const std::vector<uint32_t>*> candidates_;
   std::vector<size_t> pos_;
-  std::vector<std::vector<uint32_t>> all_rows_;
-  std::vector<std::pair<size_t, size_t>> out_slots_;
   bool exhausted_ = false;
   bool primed_ = false;
 };
@@ -225,8 +178,13 @@ class LinearDelayEnumerator : public AnswerEnumerator {
   bool Next(Tuple* out) override {
     if (!ok_) return false;
     // Depth-first walk: extend the prefix until all head variables are
-    // fixed, emit, then backtrack.
+    // fixed, emit, then backtrack. A tripped CancelToken ends the stream
+    // early (the per-step reductions also fail via their own checks).
     while (!levels_.empty()) {
+      if (ctx_.cancel().cancelled()) {
+        ok_ = false;
+        return false;
+      }
       Level& top = levels_.back();
       if (top.query.arity() == 0) {
         // Complete answer: emit the accumulated prefix, then pop.
@@ -357,6 +315,7 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
   // projected join equal to phi(D) and its hypergraph acyclic.
   FreeConnexPlan plan;
   FGQ_ASSIGN_OR_RETURN(ReducedQuery rq, FullReduce(q, db, ctx));
+  FGQ_RETURN_NOT_OK(ctx.cancel().Check("free-connex preprocessing"));
   if (rq.empty) {
     plan.empty = true;
     return plan;
@@ -429,6 +388,7 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
   // consistent with full answers but must also be pairwise consistent).
   SemijoinSweepBottomUp(&nodes_raw, gyo.tree, ctx);
   SemijoinSweepTopDown(&nodes_raw, gyo.tree, ctx);
+  FGQ_RETURN_NOT_OK(ctx.cancel().Check("free-projection reduction"));
   for (const PreparedAtom& p : nodes_raw) {
     if (p.rel.empty()) {
       plan.empty = true;
@@ -450,6 +410,81 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
   return plan;
 }
 
+Result<std::shared_ptr<const IndexedFreeConnexPlan>> IndexFreeConnexPlan(
+    FreeConnexPlan plan, const std::vector<std::string>& head,
+    const ExecContext& ctx) {
+  auto out = std::make_shared<IndexedFreeConnexPlan>();
+  out->nodes = std::move(plan.nodes);
+  out->parent = std::move(plan.parent);
+  out->empty = plan.empty;
+  out->is_boolean = head.empty();
+  if (out->empty) {
+    // nodes/parent are unspecified for an empty plan; there is nothing to
+    // index and no output slots to resolve.
+    return std::shared_ptr<const IndexedFreeConnexPlan>(std::move(out));
+  }
+  const size_t n = out->nodes.size();
+  out->parent_cols.resize(n);
+  out->root_rows.resize(n);
+  // Connector columns with the parent; query-sized bookkeeping.
+  std::vector<std::vector<size_t>> connector_cols(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (out->parent[i] >= 0) {
+      const PreparedAtom& p = out->nodes[out->parent[i]];
+      for (size_t c = 0; c < out->nodes[i].vars.size(); ++c) {
+        int pc = p.VarIndex(out->nodes[i].vars[c]);
+        if (pc >= 0) {
+          connector_cols[i].push_back(c);
+          out->parent_cols[i].push_back(static_cast<size_t>(pc));
+        }
+      }
+    } else if (!out->nodes[i].rel.empty()) {
+      out->root_rows[i].resize(out->nodes[i].rel.NumTuples());
+      for (size_t r = 0; r < out->root_rows[i].size(); ++r) {
+        out->root_rows[i][r] = static_cast<uint32_t>(r);
+      }
+    }
+  }
+  // The O(||D||) hash-index builds fan out one task per node, each build
+  // itself morsel-parallel.
+  out->indexes.resize(n);
+  ParallelFor(ctx.pool(), n, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      out->indexes[i] =
+          std::make_unique<HashIndex>(out->nodes[i].rel, connector_cols[i],
+                                      ctx);
+    }
+  });
+  FGQ_RETURN_NOT_OK(ctx.cancel().Check("plan index build"));
+  // Output slots: first node/column providing each head variable.
+  for (const std::string& v : head) {
+    bool found = false;
+    for (size_t i = 0; i < n && !found; ++i) {
+      int c = out->nodes[i].VarIndex(v);
+      if (c >= 0) {
+        out->out_slots.push_back({i, static_cast<size_t>(c)});
+        found = true;
+      }
+    }
+    if (!found) {
+      return Status::Internal("head variable '" + v +
+                              "' missing from free-connex plan");
+    }
+  }
+  return std::shared_ptr<const IndexedFreeConnexPlan>(std::move(out));
+}
+
+std::unique_ptr<AnswerEnumerator> MakePlanEnumerator(
+    std::shared_ptr<const IndexedFreeConnexPlan> plan) {
+  if (plan->empty) {
+    return std::make_unique<EmptyEnumerator>();
+  }
+  if (plan->is_boolean) {
+    return std::make_unique<BooleanTrueEnumerator>();
+  }
+  return std::make_unique<PlanCursorEnumerator>(std::move(plan));
+}
+
 Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
     const ConjunctiveQuery& q, const Database& db, const ExecOptions& opts) {
   return MakeConstantDelayEnumerator(q, db, ExecContext(opts));
@@ -458,14 +493,9 @@ Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
 Result<std::unique_ptr<AnswerEnumerator>> MakeConstantDelayEnumerator(
     const ConjunctiveQuery& q, const Database& db, const ExecContext& ctx) {
   FGQ_ASSIGN_OR_RETURN(FreeConnexPlan plan, BuildFreeConnexPlan(q, db, ctx));
-  if (plan.empty) {
-    return std::unique_ptr<AnswerEnumerator>(new EmptyEnumerator());
-  }
-  if (q.IsBoolean()) {
-    return std::unique_ptr<AnswerEnumerator>(new BooleanTrueEnumerator());
-  }
-  return std::unique_ptr<AnswerEnumerator>(new ConstantDelayEnumerator(
-      std::move(plan.nodes), std::move(plan.parent), q.head(), ctx));
+  FGQ_ASSIGN_OR_RETURN(std::shared_ptr<const IndexedFreeConnexPlan> indexed,
+                       IndexFreeConnexPlan(std::move(plan), q.head(), ctx));
+  return MakePlanEnumerator(std::move(indexed));
 }
 
 Relation DrainEnumerator(AnswerEnumerator* e, const std::string& name,

@@ -2,8 +2,10 @@
 #define FGQ_EVAL_ENUMERATE_H_
 
 #include <memory>
+#include <utility>
 
 #include "fgq/db/database.h"
+#include "fgq/db/index.h"
 #include "fgq/eval/prepared.h"
 #include "fgq/query/cq.h"
 #include "fgq/util/exec_options.h"
@@ -91,6 +93,43 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(
 Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
                                            const Database& db,
                                            const ExecContext& ctx);
+
+/// A FreeConnexPlan plus everything the enumeration phase needs that is
+/// data-dependent but query-independent of the *cursor*: per-node hash
+/// indexes on the parent connector, connector column maps, head output
+/// slots, and root candidate lists. Immutable after IndexFreeConnexPlan,
+/// so one indexed plan can back any number of concurrent cursors — this
+/// is the artifact the serving layer caches, making repeated queries skip
+/// both the reduction sweeps and the index builds.
+struct IndexedFreeConnexPlan {
+  std::vector<PreparedAtom> nodes;  // Top-down join-tree order.
+  std::vector<int> parent;          // Index into nodes, -1 for roots.
+  /// parent_cols[i][k]: the parent column matching node i's k-th
+  /// connector column.
+  std::vector<std::vector<size_t>> parent_cols;
+  /// Index of node i keyed by its connector with the parent (empty key
+  /// for roots).
+  std::vector<std::unique_ptr<HashIndex>> indexes;
+  /// (node, column) providing each head variable, in head order.
+  std::vector<std::pair<size_t, size_t>> out_slots;
+  /// Candidate row ids for nodes with no parent; empty for other nodes.
+  std::vector<std::vector<uint32_t>> root_rows;
+  /// True when phi(D) is empty.
+  bool empty = false;
+  /// True for a Boolean query (no output columns; `empty` is the verdict).
+  bool is_boolean = false;
+};
+
+/// Builds the indexes over a FreeConnexPlan (O(||D||), morsel-parallel
+/// with a pool). `head` is the query head the cursors will emit.
+Result<std::shared_ptr<const IndexedFreeConnexPlan>> IndexFreeConnexPlan(
+    FreeConnexPlan plan, const std::vector<std::string>& head,
+    const ExecContext& ctx = ExecContext());
+
+/// A fresh constant-delay cursor over a shared indexed plan. Cheap
+/// (query-sized state only); cursors are independent and single-threaded.
+std::unique_ptr<AnswerEnumerator> MakePlanEnumerator(
+    std::shared_ptr<const IndexedFreeConnexPlan> plan);
 
 }  // namespace fgq
 

@@ -24,6 +24,9 @@ struct SearchState {
   std::vector<const Relation*> rels;
   Relation* out;
   std::vector<size_t> head_ids;
+  const CancelToken* cancel;
+  uint64_t nodes_visited = 0;
+  bool aborted = false;
 };
 
 /// True if `row` of atom `a` is consistent with the current (partial)
@@ -141,6 +144,11 @@ std::vector<Value> Candidates(const SearchState& st, size_t v) {
 }
 
 void Recurse(SearchState* st, size_t bound_count) {
+  ++st->nodes_visited;
+  if (st->aborted || st->cancel->cancelled()) {
+    st->aborted = true;
+    return;
+  }
   if (bound_count == st->vars.size()) {
     Tuple t(st->head_ids.size());
     for (size_t i = 0; i < st->head_ids.size(); ++i) {
@@ -154,17 +162,20 @@ void Recurse(SearchState* st, size_t bound_count) {
     st->assignment[v] = cand;
     if (PartialCheck(*st)) Recurse(st, bound_count + 1);
     st->assignment[v] = kUnset;
+    if (st->aborted) return;
   }
 }
 
 }  // namespace
 
 Result<Relation> EvaluateBacktrack(const ConjunctiveQuery& q,
-                                   const Database& db) {
+                                   const Database& db,
+                                   const CancelToken& cancel) {
   FGQ_RETURN_NOT_OK(q.Validate());
   SearchState st;
   st.q = &q;
   st.db = &db;
+  st.cancel = &cancel;
   st.vars = q.Variables();
   for (size_t i = 0; i < st.vars.size(); ++i) st.var_id[st.vars[i]] = i;
   st.assignment.assign(st.vars.size(), kUnset);
@@ -184,6 +195,14 @@ Result<Relation> EvaluateBacktrack(const ConjunctiveQuery& q,
   // A Boolean query is satisfied once any full assignment passes; the
   // recursion naturally records the nullary tuple.
   Recurse(&st, 0);
+  if (st.aborted) {
+    Status base = cancel.Check("backtracking search");
+    return Status(base.code(),
+                  base.message() + " (visited " +
+                      std::to_string(st.nodes_visited) +
+                      " search nodes, found " +
+                      std::to_string(out.NumTuples()) + " partial answers)");
+  }
   out.SortDedup();
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include "fgq/db/database.h"
 #include "fgq/query/cq.h"
+#include "fgq/util/cancel.h"
 #include "fgq/util/status.h"
 
 /// \file oracle.h
@@ -24,8 +25,16 @@ namespace fgq {
 /// Exact evaluation by backtracking search with atom-driven candidate
 /// propagation. Handles negation and comparisons. Variables that occur
 /// only in negated atoms or comparisons range over [0, db.DomainSize()).
+///
+/// The search polls `cancel` at every node; on a tripped token it unwinds
+/// and returns DeadlineExceeded/Cancelled with partial-work accounting
+/// (search nodes visited, answers found so far). The default inert token
+/// never trips. This is the hook the serving layer relies on: cyclic and
+/// comparison-laden queries have no polynomial guarantee (Theorems
+/// 4.1/4.15), so a bounded request must be able to cut the search short.
 Result<Relation> EvaluateBacktrack(const ConjunctiveQuery& q,
-                                   const Database& db);
+                                   const Database& db,
+                                   const CancelToken& cancel = CancelToken());
 
 /// Left-deep hash-join materialization (positive atoms only; comparisons
 /// as post-filter; negated atoms unsupported).

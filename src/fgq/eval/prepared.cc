@@ -342,6 +342,7 @@ void SemijoinSweepBottomUp(std::vector<PreparedAtom>* atoms,
                            const JoinTree& tree, const ExecContext& ctx) {
   if (ctx.pool() == nullptr) {
     for (int e : tree.BottomUpOrder()) {
+      if (ctx.cancel().cancelled()) return;
       int p = tree.parent[e];
       if (p >= 0) SemijoinReduce(&(*atoms)[p], (*atoms)[e], ctx);
     }
@@ -352,6 +353,7 @@ void SemijoinSweepBottomUp(std::vector<PreparedAtom>* atoms,
   // atom), and distinct parents touch disjoint atoms.
   std::vector<std::vector<int>> levels = NodesByDepth(tree);
   for (size_t d = levels.size(); d-- > 0;) {
+    if (ctx.cancel().cancelled()) return;
     std::vector<int> parents;
     for (int e : levels[d]) {
       if (!tree.children[e].empty()) parents.push_back(e);
@@ -372,6 +374,7 @@ void SemijoinSweepTopDown(std::vector<PreparedAtom>* atoms,
                           const JoinTree& tree, const ExecContext& ctx) {
   if (ctx.pool() == nullptr) {
     for (int e : tree.TopDownOrder()) {
+      if (ctx.cancel().cancelled()) return;
       for (int c : tree.children[e]) {
         SemijoinReduce(&(*atoms)[c], (*atoms)[e], ctx);
       }
@@ -380,6 +383,7 @@ void SemijoinSweepTopDown(std::vector<PreparedAtom>* atoms,
   }
   std::vector<std::vector<int>> levels = NodesByDepth(tree);
   for (const std::vector<int>& level : levels) {
+    if (ctx.cancel().cancelled()) return;
     std::vector<int> parents;
     for (int e : level) {
       if (!tree.children[e].empty()) parents.push_back(e);

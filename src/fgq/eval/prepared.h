@@ -25,6 +25,11 @@
 /// inside each atom; semijoins build their key set hash-partitioned by
 /// morsel and probe in parallel. A default (serial) context reproduces the
 /// single-threaded behavior bit-for-bit.
+///
+/// The semijoin sweeps poll the context's CancelToken between nodes (or
+/// levels, in parallel mode) and return early once it trips, leaving the
+/// atoms partially reduced; callers holding the token (FullReduce) turn
+/// the trip into a DeadlineExceeded/Cancelled Status.
 
 namespace fgq {
 

@@ -25,11 +25,14 @@ Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db,
   }
   out.tree = std::move(gyo.tree);
   FGQ_ASSIGN_OR_RETURN(out.atoms, PrepareAtoms(q, db, ctx));
+  FGQ_RETURN_NOT_OK(ctx.cancel().Check("atom preparation"));
 
   // Bottom-up sweep: reduce each parent by its children. Top-down sweep:
   // reduce each child by its parent. (Level-parallel with a pool.)
   SemijoinSweepBottomUp(&out.atoms, out.tree, ctx);
+  FGQ_RETURN_NOT_OK(ctx.cancel().Check("bottom-up semijoin sweep"));
   SemijoinSweepTopDown(&out.atoms, out.tree, ctx);
+  FGQ_RETURN_NOT_OK(ctx.cancel().Check("top-down semijoin sweep"));
   for (const PreparedAtom& a : out.atoms) {
     if (a.rel.empty() && a.rel.arity() > 0) {
       out.empty = true;
@@ -49,6 +52,10 @@ PreparedAtom JoinSubtree(const ReducedQuery& rq,
                          const std::set<std::string>& free, int e,
                          const ExecContext& ctx) {
   PreparedAtom acc = rq.atoms[e];
+  // Cooperative cancellation: the per-node joins are the output-dependent
+  // (possibly superlinear) phase; bail with whatever was accumulated and
+  // let the caller turn the tripped token into a Status.
+  if (ctx.cancel().cancelled()) return acc;
   // Variables of the parent, used to decide what must be kept.
   std::set<std::string> parent_vars;
   int p = rq.tree.parent[e];
@@ -110,6 +117,13 @@ Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
   }
   std::set<std::string> free(q.head().begin(), q.head().end());
   PreparedAtom joined = JoinSubtree(rq, free, rq.tree.root, ctx);
+  if (ctx.cancel().cancelled()) {
+    Status base = ctx.cancel().Check("join assembly");
+    return Status(base.code(),
+                  base.message() + " (" +
+                      std::to_string(joined.rel.NumTuples()) +
+                      " partial join rows materialized)");
+  }
 
   // Reorder columns into head order. Boolean query: arity-0 result.
   Relation out(q.name(), q.arity());

@@ -1,0 +1,120 @@
+#include "fgq/serve/plan_cache.h"
+
+#include <utility>
+
+namespace fgq {
+
+namespace {
+
+/// Appends the canonical spelling of `t` (renamed variable or literal
+/// constant), assigning the next positional name on first sight.
+void AppendTerm(const Term& t,
+                std::unordered_map<std::string, std::string>* names,
+                std::string* out) {
+  if (!t.is_var()) {
+    out->append(std::to_string(t.constant));
+    return;
+  }
+  auto it = names->find(t.var);
+  if (it == names->end()) {
+    it = names->emplace(t.var, "v" + std::to_string(names->size())).first;
+  }
+  out->append(it->second);
+}
+
+}  // namespace
+
+std::string CanonicalQueryText(const ConjunctiveQuery& q) {
+  std::unordered_map<std::string, std::string> names;
+  std::string out;
+  out.reserve(q.SizeWeight() * 4);
+  // The head first: head order defines the output columns, so it also
+  // drives the positional renaming.
+  out.push_back('(');
+  for (size_t i = 0; i < q.head().size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendTerm(Term::Var(q.head()[i]), &names, &out);
+  }
+  out.push_back(')');
+  for (const Atom& a : q.atoms()) {
+    out.push_back(a.negated ? '!' : ',');
+    out.append(a.relation);
+    out.push_back('(');
+    for (size_t j = 0; j < a.args.size(); ++j) {
+      if (j > 0) out.push_back(',');
+      AppendTerm(a.args[j], &names, &out);
+    }
+    out.push_back(')');
+  }
+  for (const Comparison& c : q.comparisons()) {
+    out.push_back(';');
+    AppendTerm(Term::Var(c.lhs), &names, &out);
+    switch (c.op) {
+      case Comparison::Op::kLess:
+        out.push_back('<');
+        break;
+      case Comparison::Op::kLessEq:
+        out.append("<=");
+        break;
+      case Comparison::Op::kNotEqual:
+        out.append("!=");
+        break;
+    }
+    AppendTerm(Term::Var(c.rhs), &names, &out);
+  }
+  return out;
+}
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const CachedPlan> PlanCache::Get(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::Put(const PlanKey& key, std::shared_ptr<const CachedPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  map_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace fgq

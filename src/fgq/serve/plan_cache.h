@@ -1,0 +1,117 @@
+#ifndef FGQ_SERVE_PLAN_CACHE_H_
+#define FGQ_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fgq/db/relation.h"
+#include "fgq/eval/engine.h"
+#include "fgq/eval/enumerate.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/bigint.h"
+
+/// \file plan_cache.h
+/// The serving layer's prepared-plan cache.
+///
+/// Preparing a query is the expensive half of answering it: for a
+/// free-connex query, the Theorem 4.6 preprocessing (full reduction +
+/// free-projection sweeps + hash-index builds) is O(||D||), while each
+/// answer afterwards costs O(||phi||). A service that re-runs the
+/// preprocessing on every request throws that asymmetry away. PlanCache
+/// keeps the immutable preprocessing artifact — an IndexedFreeConnexPlan
+/// for free-connex/Boolean queries, the materialized answer relation for
+/// the other classes — keyed by the *canonicalized* query text and the
+/// database's version counter, so a repeated query (even alpha-renamed)
+/// skips straight to the enumeration phase, and any mutation of the
+/// database invalidates every plan built against it simply by changing
+/// the key.
+
+namespace fgq {
+
+/// Renders `q` with variables renamed positionally ("v0", "v1", ... in
+/// first-occurrence order, head first) so alpha-equivalent queries —
+/// `Q(x) :- E(x, y)` and `Q(a) :- E(a, b)` — share one cache entry. Atom
+/// order is preserved: reordering atoms is a different (if semantically
+/// equal) plan, and canonicalizing modulo atom permutation would cost more
+/// than a cache miss.
+std::string CanonicalQueryText(const ConjunctiveQuery& q);
+
+/// Cache key: canonical query text + the database version it was built
+/// against (Database::version(), bumped on every mutation).
+struct PlanKey {
+  std::string canonical;
+  uint64_t db_version = 0;
+
+  bool operator==(const PlanKey& o) const {
+    return db_version == o.db_version && canonical == o.canonical;
+  }
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    return std::hash<std::string>()(k.canonical) ^
+           (std::hash<uint64_t>()(k.db_version) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+/// One cached preparation. Exactly one of `plan` / `answers` is set:
+/// free-connex and Boolean queries cache the indexed plan (cursors are
+/// created per request), everything else caches the materialized answers.
+/// `count`, when present, memoizes |phi(D)| for the count verb. All
+/// members are immutable shared state — safe to hand to any number of
+/// concurrent requests.
+struct CachedPlan {
+  QueryClass classification = QueryClass::kCyclic;
+  std::string algorithm;
+  std::shared_ptr<const IndexedFreeConnexPlan> plan;
+  std::shared_ptr<const Relation> answers;
+  std::shared_ptr<const BigInt> count;
+};
+
+/// A bounded LRU over CachedPlan entries. All operations take the cache
+/// mutex; the values handed out are shared_ptrs to immutable state, so an
+/// entry evicted mid-request stays alive until its last user drops it.
+class PlanCache {
+ public:
+  /// `capacity` = max resident entries (>= 1).
+  explicit PlanCache(size_t capacity = 128);
+
+  /// Returns the entry for `key` and marks it most-recently-used, or
+  /// nullptr on miss.
+  std::shared_ptr<const CachedPlan> Get(const PlanKey& key);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the least
+  /// recently used entry when over capacity.
+  void Put(const PlanKey& key, std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops every entry.
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Lifetime hit/miss tallies (Get calls).
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,326 @@
+#include "fgq/serve/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fgq {
+
+namespace {
+
+/// Microsecond latency buckets, 1us .. ~8s.
+std::vector<double> LatencyBounds() {
+  return Histogram::ExponentialBounds(1.0, 2.0, 24);
+}
+
+double ToMicros(std::chrono::nanoseconds d) {
+  return static_cast<double>(d.count()) / 1000.0;
+}
+
+}  // namespace
+
+bool QueryService::IsHeavy(QueryClass c) {
+  // The oracle-backed classes: worst-case exponential backtracking. The
+  // light lane keeps the O(||D||)-preprocessing classes flowing past them.
+  return c == QueryClass::kCyclic || c == QueryClass::kNegated ||
+         c == QueryClass::kAcyclicOrderComparisons;
+}
+
+QueryService::QueryService(const Database* db, ServiceOptions opts)
+    : db_(db),
+      opts_(opts),
+      engine_(opts.exec),
+      cache_(opts.cache_capacity) {
+  if (opts_.num_workers == 0) opts_.num_workers = 1;
+  if (opts_.max_pending == 0) opts_.max_pending = 1;
+  if (opts_.max_concurrent_heavy == 0) {
+    opts_.max_concurrent_heavy = std::max<size_t>(1, opts_.num_workers / 2);
+  }
+  opts_.max_concurrent_heavy =
+      std::min(opts_.max_concurrent_heavy, opts_.num_workers);
+  workers_.reserve(opts_.num_workers);
+  for (size_t i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Stop(); }
+
+std::future<ServiceResponse> QueryService::Enqueue(ServiceRequest req,
+                                                   bool blocking,
+                                                   Status* reject) {
+  auto p = std::make_unique<Pending>();
+  p->classification = Engine::Classify(req.query);
+  p->cancel = req.timeout.count() > 0 ? CancelToken::WithTimeout(req.timeout)
+                                      : CancelToken::Cancellable();
+  p->enqueued = std::chrono::steady_clock::now();
+  p->req = std::move(req);
+  std::future<ServiceResponse> fut = p->promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (blocking) {
+      space_cv_.wait(lock, [this] {
+        return stopping_ || light_.size() + heavy_.size() < opts_.max_pending;
+      });
+    }
+    if (stopping_) {
+      *reject = Status::Cancelled("service is stopping");
+    } else if (light_.size() + heavy_.size() >= opts_.max_pending) {
+      *reject = Status::ResourceExhausted(
+          "request queue full (" + std::to_string(opts_.max_pending) +
+          " pending)");
+    } else {
+      p->seq = next_seq_++;
+      metrics_.GetCounter("serve.requests").Increment();
+      metrics_
+          .GetCounter(std::string("serve.requests.") +
+                      QueryClassName(p->classification))
+          .Increment();
+      (IsHeavy(p->classification) ? heavy_ : light_).push_back(std::move(p));
+      work_cv_.notify_one();
+      return fut;
+    }
+  }
+  metrics_.GetCounter("serve.rejected").Increment();
+  ServiceResponse resp;
+  resp.status = *reject;
+  resp.classification = p->classification;
+  p->promise.set_value(std::move(resp));
+  return fut;
+}
+
+std::future<ServiceResponse> QueryService::Submit(ServiceRequest req) {
+  Status reject = Status::OK();
+  return Enqueue(std::move(req), /*blocking=*/true, &reject);
+}
+
+Result<std::future<ServiceResponse>> QueryService::TrySubmit(
+    ServiceRequest req) {
+  Status reject = Status::OK();
+  std::future<ServiceResponse> fut =
+      Enqueue(std::move(req), /*blocking=*/false, &reject);
+  if (!reject.ok()) return reject;
+  return fut;
+}
+
+ServiceResponse QueryService::Call(ServiceRequest req) {
+  return Submit(std::move(req)).get();
+}
+
+void QueryService::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& p : light_) p->cancel.Cancel();
+  for (auto& p : heavy_) p->cancel.Cancel();
+  for (CancelToken& t : running_) t.Cancel();
+}
+
+void QueryService::Stop() {
+  std::deque<std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    for (auto& p : light_) orphans.push_back(std::move(p));
+    for (auto& p : heavy_) orphans.push_back(std::move(p));
+    light_.clear();
+    heavy_.clear();
+    // In-flight requests are cancelled, not abandoned: the workers see
+    // the trip at the next check and resolve their promises normally.
+    for (CancelToken& t : running_) t.Cancel();
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& p : orphans) {
+    ServiceResponse resp;
+    resp.status = Status::Cancelled("service stopped before execution");
+    resp.classification = p->classification;
+    p->promise.set_value(std::move(resp));
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Pending> p;
+    bool heavy = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || !light_.empty() ||
+               (!heavy_.empty() && heavy_running_ < opts_.max_concurrent_heavy);
+      });
+      if (stopping_) return;
+      // Pick the oldest admissible request across the lanes; the heavy
+      // lane is admissible only below its concurrency cap.
+      bool heavy_ok =
+          !heavy_.empty() && heavy_running_ < opts_.max_concurrent_heavy;
+      if (!light_.empty() &&
+          (!heavy_ok || light_.front()->seq < heavy_.front()->seq)) {
+        p = std::move(light_.front());
+        light_.pop_front();
+      } else if (heavy_ok) {
+        p = std::move(heavy_.front());
+        heavy_.pop_front();
+        heavy = true;
+        ++heavy_running_;
+      } else {
+        continue;  // Spurious wake with only capped heavy work.
+      }
+      running_.push_back(p->cancel);
+    }
+    space_cv_.notify_one();
+
+    ServiceResponse resp = Process(*p);
+    p->promise.set_value(std::move(resp));
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (heavy) --heavy_running_;
+      for (size_t i = 0; i < running_.size(); ++i) {
+        if (running_[i].SameStateAs(p->cancel)) {
+          running_.erase(running_.begin() + static_cast<long>(i));
+          break;
+        }
+      }
+    }
+    if (heavy) work_cv_.notify_one();  // A heavy slot opened up.
+  }
+}
+
+ServiceResponse QueryService::Process(Pending& p) {
+  const auto started = std::chrono::steady_clock::now();
+  ServiceResponse resp;
+  resp.classification = p.classification;
+  resp.queue_wait = started - p.enqueued;
+  metrics_
+      .GetHistogram("serve.queue_wait_us", LatencyBounds())
+      .Observe(ToMicros(resp.queue_wait));
+
+  PlanKey key{CanonicalQueryText(p.req.query), db_->version()};
+  std::shared_ptr<const CachedPlan> cached;
+  // A request whose deadline expired while queued fails fast.
+  Status admitted = p.cancel.Check("queue wait");
+  if (!admitted.ok()) {
+    resp.status = std::move(admitted);
+  } else {
+    cached = cache_.Get(key);
+    if (cached) {
+      metrics_.GetCounter("serve.cache.hits").Increment();
+      resp.cache_hit = true;
+    } else {
+      metrics_.GetCounter("serve.cache.misses").Increment();
+      cached = Prepare(p, &resp);
+      if (cached && resp.status.ok()) cache_.Put(key, cached);
+    }
+  }
+
+  if (resp.status.ok() && cached) {
+    resp.algorithm = cached->algorithm;
+    if (cached->plan) {
+      // Serve from the shared indexed plan: a fresh cursor per request.
+      std::unique_ptr<AnswerEnumerator> cursor =
+          MakePlanEnumerator(cached->plan);
+      if (p.req.verb == ServeVerb::kRows) {
+        auto out = std::make_shared<Relation>(p.req.query.name(),
+                                              p.req.query.arity());
+        Tuple t;
+        while (cursor->Next(&t)) {
+          if (p.req.query.arity() == 0) {
+            out->AddNullary();
+          } else {
+            out->Add(t);
+          }
+          if (p.cancel.cancelled()) break;
+        }
+        if (p.cancel.cancelled()) {
+          Status base = p.cancel.Check("answer enumeration");
+          resp.status = Status(
+              base.code(), base.message() + " (" +
+                               std::to_string(out->NumTuples()) +
+                               " answers enumerated)");
+        } else {
+          resp.answers = std::move(out);
+        }
+      } else {
+        uint64_t n = 0;
+        Tuple t;
+        while (cursor->Next(&t) && !p.cancel.cancelled()) ++n;
+        if (p.cancel.cancelled()) {
+          resp.status = p.cancel.Check("answer counting");
+        } else {
+          resp.count = BigInt(static_cast<int64_t>(n));
+        }
+      }
+    } else if (cached->answers) {
+      if (p.req.verb == ServeVerb::kRows) {
+        resp.answers = cached->answers;
+      } else {
+        resp.count =
+            BigInt(static_cast<int64_t>(cached->answers->NumTuples()));
+      }
+    }
+  }
+
+  if (resp.status.code() == StatusCode::kDeadlineExceeded) {
+    metrics_.GetCounter("serve.deadline_exceeded").Increment();
+  } else if (resp.status.code() == StatusCode::kCancelled) {
+    metrics_.GetCounter("serve.cancelled").Increment();
+  }
+  resp.exec_time = std::chrono::steady_clock::now() - started;
+  metrics_
+      .GetHistogram("serve.exec_us", LatencyBounds())
+      .Observe(ToMicros(resp.exec_time));
+  return resp;
+}
+
+std::shared_ptr<const CachedPlan> QueryService::Prepare(Pending& p,
+                                                        ServiceResponse* out) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->classification = p.classification;
+  if (p.classification == QueryClass::kBooleanAcyclic ||
+      p.classification == QueryClass::kFreeConnexAcyclic) {
+    // Cache the Theorem 4.6 preprocessing; the enumeration phase runs per
+    // request against the shared indexes.
+    ExecContext ctx = engine_.context().WithCancel(p.cancel);
+    Result<FreeConnexPlan> fc = BuildFreeConnexPlan(p.req.query, *db_, ctx);
+    if (!fc.ok()) {
+      out->status = fc.status();
+      return nullptr;
+    }
+    Result<std::shared_ptr<const IndexedFreeConnexPlan>> indexed =
+        IndexFreeConnexPlan(std::move(fc).value(), p.req.query.head(), ctx);
+    if (!indexed.ok()) {
+      out->status = indexed.status();
+      return nullptr;
+    }
+    plan->plan = std::move(indexed).value();
+    plan->algorithm = p.classification == QueryClass::kBooleanAcyclic
+                          ? "boolean-semijoin-sweep"
+                          : "constant-delay-enumeration";
+    return plan;
+  }
+  // Every other class: evaluate once, cache the materialized answers (they
+  // serve both verbs; general-acyclic counts equal the answer count).
+  Result<QueryResult> res = engine_.Execute(p.req.query, *db_, p.cancel);
+  if (!res.ok()) {
+    out->status = res.status();
+    return nullptr;
+  }
+  plan->algorithm = res->algorithm;
+  plan->answers = std::make_shared<const Relation>(std::move(res->answers));
+  return plan;
+}
+
+std::string QueryService::StatsDump() {
+  std::string out = metrics_.TextDump();
+  out += "cache size=" + std::to_string(cache_.size()) +
+         " capacity=" + std::to_string(cache_.capacity()) +
+         " hits=" + std::to_string(cache_.hits()) +
+         " misses=" + std::to_string(cache_.misses()) + "\n";
+  return out;
+}
+
+}  // namespace fgq

@@ -1,0 +1,184 @@
+#ifndef FGQ_SERVE_QUERY_SERVICE_H_
+#define FGQ_SERVE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fgq/db/database.h"
+#include "fgq/eval/engine.h"
+#include "fgq/query/cq.h"
+#include "fgq/serve/plan_cache.h"
+#include "fgq/util/cancel.h"
+#include "fgq/util/metrics.h"
+#include "fgq/util/status.h"
+
+/// \file query_service.h
+/// A concurrent query service on top of fgq::Engine.
+///
+/// Engine evaluates one query; QueryService turns it into something you
+/// can put behind a network front end:
+///
+/// * **Plan caching.** Prepared plans (the Theorem 4.6 preprocessing for
+///   free-connex queries, materialized answers otherwise) live in an LRU
+///   keyed by canonical query text + database version, so repeated
+///   queries skip the O(||D||) preparation and any database mutation
+///   invalidates stale plans by construction (see plan_cache.h).
+/// * **Deadlines and cancellation.** Every request carries a CancelToken
+///   that the evaluation loops poll; an expired deadline surfaces as
+///   Status::DeadlineExceeded with partial-work accounting instead of a
+///   runaway worker. CancelAll trips every queued and in-flight request.
+/// * **Admission control.** Requests wait in a bounded two-lane queue.
+///   The heavy lane holds the oracle-backed classes (cyclic, negated,
+///   order comparisons) whose worst case is exponential; at most
+///   `max_concurrent_heavy` of them run at once, so a flood of cyclic
+///   queries cannot occupy every worker and starve the O(||D||)
+///   free-connex traffic. When the queue is full, Submit blocks
+///   (backpressure) and TrySubmit fails with ResourceExhausted.
+/// * **Metrics.** Request counts per class, cache hits/misses, queue-wait
+///   and execution-time histograms, all readable as a text dump (the
+///   `\stats` verb of examples/fgq_serve.cpp).
+///
+/// The service reads the database through the pointer given at
+/// construction and never mutates it. Mutating the database between
+/// requests is fine (plans re-prepare against the new version); mutating
+/// it *while* requests are in flight is a data race, exactly as with a
+/// bare Engine.
+
+namespace fgq {
+
+/// What the client wants back.
+enum class ServeVerb {
+  kRows,   ///< The full answer relation.
+  kCount,  ///< |phi(D)| only.
+};
+
+struct ServiceOptions {
+  /// Worker threads executing requests. >= 1.
+  size_t num_workers = 4;
+  /// Queued (not yet running) requests across both lanes before Submit
+  /// blocks and TrySubmit rejects. >= 1.
+  size_t max_pending = 64;
+  /// Cap on simultaneously *running* heavy-lane requests; 0 means
+  /// num_workers / 2 (at least 1). Must stay below num_workers to
+  /// guarantee a light lane.
+  size_t max_concurrent_heavy = 0;
+  /// PlanCache capacity (entries).
+  size_t cache_capacity = 128;
+  /// Engine options shared by the workers (thread pool etc.).
+  ExecOptions exec;
+};
+
+struct ServiceRequest {
+  ConjunctiveQuery query;
+  ServeVerb verb = ServeVerb::kRows;
+  /// Per-request deadline; zero means no deadline.
+  std::chrono::nanoseconds timeout{0};
+};
+
+struct ServiceResponse {
+  /// OK, or DeadlineExceeded/Cancelled/ResourceExhausted/evaluation error.
+  Status status;
+  QueryClass classification = QueryClass::kCyclic;
+  /// The algorithm used, or "cached" when served from the plan cache.
+  std::string algorithm;
+  /// Set for kRows on success (shared immutable — may alias the cache).
+  std::shared_ptr<const Relation> answers;
+  /// Set for kCount on success.
+  BigInt count;
+  bool cache_hit = false;
+  std::chrono::nanoseconds queue_wait{0};
+  std::chrono::nanoseconds exec_time{0};
+};
+
+/// The service. Construction starts the workers; destruction cancels
+/// queued requests, waits for in-flight ones, and joins.
+class QueryService {
+ public:
+  QueryService(const Database* db, ServiceOptions opts = ServiceOptions());
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues a request, blocking while the queue is full (backpressure).
+  /// The future resolves when the request finishes, fails, or is
+  /// cancelled. Returns a ResourceExhausted response immediately if the
+  /// service is stopping.
+  std::future<ServiceResponse> Submit(ServiceRequest req);
+
+  /// Like Submit, but never blocks: fails with ResourceExhausted when the
+  /// queue is full.
+  Result<std::future<ServiceResponse>> TrySubmit(ServiceRequest req);
+
+  /// Submit + wait (convenience for tests and the example shell).
+  ServiceResponse Call(ServiceRequest req);
+
+  /// Trips the CancelToken of every queued and in-flight request. Queued
+  /// requests resolve with Cancelled without running; in-flight ones
+  /// return at their next cancellation check.
+  void CancelAll();
+
+  /// Stops accepting work, cancels the queue, waits for in-flight
+  /// requests, joins the workers. Idempotent; the destructor calls it.
+  void Stop();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  PlanCache& cache() { return cache_; }
+  const ServiceOptions& options() const { return opts_; }
+
+  /// Renders metrics plus cache occupancy (the `\stats` payload).
+  std::string StatsDump();
+
+ private:
+  struct Pending {
+    ServiceRequest req;
+    CancelToken cancel;
+    std::promise<ServiceResponse> promise;
+    QueryClass classification;
+    std::chrono::steady_clock::time_point enqueued;
+    uint64_t seq = 0;
+  };
+
+  /// True for the oracle-backed classes that get the throttled lane.
+  static bool IsHeavy(QueryClass c);
+
+  void WorkerLoop();
+  /// Executes one admitted request (cache lookup, evaluation, metrics).
+  ServiceResponse Process(Pending& p);
+  /// Evaluation on cache miss; fills `out` and returns the plan to cache
+  /// (nullptr when the result must not be cached, e.g. after a deadline).
+  std::shared_ptr<const CachedPlan> Prepare(Pending& p, ServiceResponse* out);
+
+  std::future<ServiceResponse> Enqueue(ServiceRequest req, bool blocking,
+                                       Status* reject);
+
+  const Database* db_;
+  ServiceOptions opts_;
+  Engine engine_;
+  PlanCache cache_;
+  MetricsRegistry metrics_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers: work available / stop.
+  std::condition_variable space_cv_;  // Submitters: queue has room.
+  std::deque<std::unique_ptr<Pending>> light_;
+  std::deque<std::unique_ptr<Pending>> heavy_;
+  /// Tokens of currently running requests (for CancelAll).
+  std::vector<CancelToken> running_;
+  size_t heavy_running_ = 0;
+  uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_SERVE_QUERY_SERVICE_H_

@@ -13,8 +13,10 @@
 /// preprocessing time from the *delay* between consecutive outputs, and
 /// Constant-Delay_lin requires the delay to be independent of the database
 /// size. DelayRecorder timestamps each output so benchmarks can report the
-/// maximum and mean inter-output gap and verify the flat-vs-linear shape
-/// the theorems predict.
+/// maximum, mean, and p50/p95/p99 inter-output gaps and verify the
+/// flat-vs-linear shape the theorems predict. Max alone is noisy (one
+/// scheduler hiccup dominates); the tail percentiles separate a genuinely
+/// linear delay from measurement noise.
 
 namespace fgq {
 
@@ -28,7 +30,7 @@ class DelayRecorder {
     last_ = Clock::now();
     max_delay_ns_ = 0;
     total_delay_ns_ = 0;
-    count_ = 0;
+    gaps_ns_.clear();
   }
 
   /// Records one output event.
@@ -40,22 +42,39 @@ class DelayRecorder {
     last_ = now;
     max_delay_ns_ = std::max(max_delay_ns_, gap);
     total_delay_ns_ += gap;
-    ++count_;
+    gaps_ns_.push_back(gap);
   }
 
   int64_t max_delay_ns() const { return max_delay_ns_; }
-  int64_t count() const { return count_; }
+  int64_t count() const { return static_cast<int64_t>(gaps_ns_.size()); }
   double mean_delay_ns() const {
-    return count_ == 0 ? 0.0
-                       : static_cast<double>(total_delay_ns_) /
-                             static_cast<double>(count_);
+    return gaps_ns_.empty() ? 0.0
+                            : static_cast<double>(total_delay_ns_) /
+                                  static_cast<double>(gaps_ns_.size());
   }
+
+  /// The q-quantile gap (nearest-rank), q in [0, 1]; 0 when no outputs
+  /// were recorded.
+  int64_t quantile_delay_ns(double q) const {
+    if (gaps_ns_.empty()) return 0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    size_t rank = static_cast<size_t>(q * static_cast<double>(gaps_ns_.size()));
+    if (rank >= gaps_ns_.size()) rank = gaps_ns_.size() - 1;
+    std::vector<int64_t> gaps = gaps_ns_;
+    std::nth_element(gaps.begin(), gaps.begin() + static_cast<long>(rank),
+                     gaps.end());
+    return gaps[rank];
+  }
+
+  int64_t p50_delay_ns() const { return quantile_delay_ns(0.50); }
+  int64_t p95_delay_ns() const { return quantile_delay_ns(0.95); }
+  int64_t p99_delay_ns() const { return quantile_delay_ns(0.99); }
 
  private:
   Clock::time_point last_{};
   int64_t max_delay_ns_ = 0;
   int64_t total_delay_ns_ = 0;
-  int64_t count_ = 0;
+  std::vector<int64_t> gaps_ns_;
 };
 
 }  // namespace fgq

@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <memory>
+#include <utility>
 
+#include "fgq/util/cancel.h"
 #include "fgq/util/thread_pool.h"
 
 /// \file exec_options.h
@@ -66,9 +68,21 @@ class ExecContext {
   size_t morsel_size() const { return morsel_size_; }
   bool serial() const { return pool_ == nullptr; }
 
+  /// The cancellation token the evaluation loops poll. Inert by default.
+  const CancelToken& cancel() const { return cancel_; }
+
+  /// A copy of this context (sharing the pool) that polls `token`. The
+  /// serving layer wraps the engine's context per request this way.
+  ExecContext WithCancel(CancelToken token) const {
+    ExecContext out = *this;
+    out.cancel_ = std::move(token);
+    return out;
+  }
+
  private:
   std::shared_ptr<ThreadPool> pool_;
   size_t morsel_size_ = 4096;
+  CancelToken cancel_;
 };
 
 }  // namespace fgq

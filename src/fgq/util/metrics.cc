@@ -1,0 +1,107 @@
+#include "fgq/util/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace fgq {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  size_t b = std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+             bounds_.begin();
+  // upper_bound treats bounds as exclusive; shift exact hits into their
+  // bucket so bounds read as inclusive upper limits.
+  if (b > 0 && bounds_[b - 1] == value) --b;
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Mean() const {
+  uint64_t n = TotalCount();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cum + c) >= rank) {
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      if (c == 0) return hi;
+      const double frac = (rank - static_cast<double>(cum)) /
+                          static_cast<double>(c);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += c;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << TotalCount() << " mean=" << Mean()
+     << " p50=" << Quantile(0.50) << " p95=" << Quantile(0.95)
+     << " p99=" << Quantile(0.99);
+  return os.str();
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string MetricsRegistry::TextDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "counter " << name << " " << c->Value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram " << name << " " << h->Summary() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fgq

@@ -1,0 +1,96 @@
+#ifndef FGQ_UTIL_METRICS_H_
+#define FGQ_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file metrics.h
+/// Counters and fixed-bucket histograms for the serving layer.
+///
+/// A production query service must be *observable*: how many requests per
+/// class, how long they queued, how long they ran, how often the plan
+/// cache hit. MetricsRegistry holds named Counter and Histogram
+/// instruments; instrument handles are stable for the registry's lifetime,
+/// and recording on them is lock-free (registration takes a mutex once
+/// per name). TextDump renders everything for the `\stats` verb of the
+/// line-protocol front end.
+
+namespace fgq {
+
+/// Monotonically increasing counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Buckets are defined by ascending upper bounds;
+/// an implicit overflow bucket catches everything above the last bound.
+/// Observation is lock-free; percentile estimates interpolate linearly
+/// within the containing bucket.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bounds, strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t TotalCount() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// Estimated q-quantile, q in [0, 1]. Returns 0 when empty; values in
+  /// the overflow bucket report the last finite bound.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// One-line summary: count/mean/p50/p95/p99/max-bound.
+  std::string Summary() const;
+
+  /// `count` exponential bucket bounds starting at `start`, each `factor`
+  /// times the previous (e.g. microsecond latency buckets).
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+
+ private:
+  std::vector<double> bounds_;
+  /// counts_[i] for bounds_[i]; counts_[bounds_.size()] is the overflow.
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named instruments, created on first use and stable thereafter.
+/// Thread-safe; Get* takes a mutex, the returned references are safe to
+/// record on concurrently without it.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  /// Returns the histogram `name`, creating it with `bounds` on first
+  /// use (later calls ignore `bounds`).
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Renders every instrument, sorted by name:
+  ///   counter <name> <value>
+  ///   histogram <name> count=... mean=... p50=... p95=... p99=...
+  std::string TextDump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fgq
+
+#endif  // FGQ_UTIL_METRICS_H_

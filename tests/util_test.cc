@@ -5,8 +5,10 @@
 #include <string>
 
 #include "fgq/util/bigint.h"
+#include "fgq/util/cancel.h"
 #include "fgq/util/delay_recorder.h"
 #include "fgq/util/hash.h"
+#include "fgq/util/metrics.h"
 #include "fgq/util/random.h"
 #include "fgq/util/status.h"
 
@@ -209,6 +211,115 @@ TEST(DelayRecorder, CountsAndMeans) {
   EXPECT_GE(rec.max_delay_ns(), 0);
   EXPECT_GE(rec.mean_delay_ns(), 0.0);
   EXPECT_LE(rec.mean_delay_ns(), static_cast<double>(rec.max_delay_ns()));
+}
+
+TEST(DelayRecorder, PercentilesAreOrderedAndBounded) {
+  DelayRecorder rec;
+  rec.StartEnumeration();
+  for (int i = 0; i < 200; ++i) rec.RecordOutput();
+  EXPECT_LE(rec.p50_delay_ns(), rec.p95_delay_ns());
+  EXPECT_LE(rec.p95_delay_ns(), rec.p99_delay_ns());
+  EXPECT_LE(rec.p99_delay_ns(), rec.max_delay_ns());
+  EXPECT_EQ(rec.quantile_delay_ns(1.0), rec.max_delay_ns());
+}
+
+TEST(DelayRecorder, EmptyRecorderReportsZero) {
+  DelayRecorder rec;
+  rec.StartEnumeration();
+  EXPECT_EQ(rec.count(), 0);
+  EXPECT_EQ(rec.p50_delay_ns(), 0);
+  EXPECT_EQ(rec.p99_delay_ns(), 0);
+}
+
+// ---- CancelToken ------------------------------------------------------------
+
+TEST(CancelToken, InertTokenNeverTrips) {
+  CancelToken t;
+  EXPECT_FALSE(t.cancellable());
+  EXPECT_FALSE(t.cancelled());
+  t.Cancel();  // No-op.
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_TRUE(t.Check().ok());
+}
+
+TEST(CancelToken, ExplicitCancelLatchesAcrossCopies) {
+  CancelToken t = CancelToken::Cancellable();
+  CancelToken copy = t;
+  EXPECT_FALSE(copy.cancelled());
+  t.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+  Status st = copy.Check("unit test");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_NE(st.message().find("during unit test"), std::string::npos);
+}
+
+TEST(CancelToken, ExpiredDeadlineTripsOnFirstCheck) {
+  // A deadline in the past must trip immediately — the amortized clock
+  // stride always reads the clock on the first poll.
+  CancelToken t = CancelToken::WithTimeout(std::chrono::nanoseconds(-1));
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.Check("seed").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotTrip) {
+  CancelToken t = CancelToken::WithTimeout(std::chrono::hours(24));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(t.cancelled());
+}
+
+TEST(CancelToken, SameStateAsIdentifiesCopies) {
+  CancelToken a = CancelToken::Cancellable();
+  CancelToken b = a;
+  CancelToken c = CancelToken::Cancellable();
+  EXPECT_TRUE(a.SameStateAs(b));
+  EXPECT_FALSE(a.SameStateAs(c));
+  EXPECT_FALSE(CancelToken().SameStateAs(CancelToken()));
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+TEST(Metrics, CounterIncrements) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Metrics, HistogramQuantilesOnUniformData) {
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.Observe(v);
+  EXPECT_EQ(h.TotalCount(), 100u);
+  EXPECT_NEAR(h.Mean(), 50.5, 0.01);
+  EXPECT_NEAR(h.Quantile(0.5), 50, 10.01);
+  EXPECT_NEAR(h.Quantile(0.95), 95, 10.01);
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.95));
+}
+
+TEST(Metrics, HistogramOverflowReportsLastBound) {
+  Histogram h({1, 2});
+  h.Observe(1000);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.Quantile(0.99), 2.0);  // Clamped to the last finite bound.
+}
+
+TEST(Metrics, ExponentialBounds) {
+  std::vector<double> b = Histogram::ExponentialBounds(1.0, 2.0, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[4], 16.0);
+}
+
+TEST(Metrics, RegistryStableHandlesAndTextDump) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.GetCounter("requests");
+  Counter& c2 = reg.GetCounter("requests");
+  EXPECT_EQ(&c1, &c2);
+  c1.Increment(3);
+  reg.GetHistogram("latency", {1, 10, 100}).Observe(5);
+  std::string dump = reg.TextDump();
+  EXPECT_NE(dump.find("counter requests 3"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("histogram latency count=1"), std::string::npos)
+      << dump;
 }
 
 }  // namespace
