@@ -1,0 +1,91 @@
+// Differential fuzzing driver (src/fgq/check/).
+//
+// Runs a deterministic seed range through every evaluation path in the
+// library and diffs each against the brute-force reference. Exits 0 on
+// zero mismatches, 1 otherwise — this is the binary the CI sanitizer jobs
+// run with --seeds=500.
+//
+//   fuzz_check [--seeds=N] [--first-seed=S] [--classes=a,b,...]
+//              [--no-shrink] [--regress-dir=DIR] [--no-service]
+//
+//   --seeds=N        total cases (cycling through the classes). Default 64.
+//   --first-seed=S   first seed of the range. Default 0.
+//   --classes=...    comma-separated FuzzClassName list. Default: all.
+//   --no-shrink      report raw failures without shrinking.
+//   --regress-dir=D  write shrunk failures as .fgqr files under D.
+//   --no-service     skip the QueryService paths (faster under TSan).
+//
+// Reproduce a single failure with --seeds=1 --first-seed=S --classes=C.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fgq/check/check.h"
+
+namespace {
+
+bool ParseSize(const char* s, size_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fgq::CheckOptions opt;
+  opt.num_seeds = 64;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    size_t n = 0;
+    if (arg.rfind("--seeds=", 0) == 0 && ParseSize(value("--seeds="), &n)) {
+      opt.num_seeds = n;
+    } else if (arg.rfind("--first-seed=", 0) == 0 &&
+               ParseSize(value("--first-seed="), &n)) {
+      opt.first_seed = n;
+    } else if (arg.rfind("--classes=", 0) == 0) {
+      std::string list = value("--classes=");
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        fgq::FuzzClass cls;
+        if (!fgq::FuzzClassFromName(name, &cls)) {
+          std::fprintf(stderr, "unknown class '%s'\n", name.c_str());
+          return 2;
+        }
+        opt.classes.push_back(cls);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--no-shrink") {
+      opt.shrink = false;
+    } else if (arg.rfind("--regress-dir=", 0) == 0) {
+      opt.regress_dir = value("--regress-dir=");
+    } else if (arg == "--no-service") {
+      opt.fuzz.include_service = false;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const fgq::CheckSummary summary = fgq::RunSeedRange(opt);
+  std::printf("%s", summary.ToString().c_str());
+  if (!summary.ok()) {
+    std::fprintf(stderr, "fuzz_check: %zu failing case(s)\n",
+                 summary.failures.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "fgq/check/check.h"
+
+#include <utility>
+
+#include "fgq/check/regress.h"
+
+namespace fgq {
+
+CheckSummary RunSeedRange(const CheckOptions& opt) {
+  std::vector<FuzzClass> classes = opt.classes;
+  if (classes.empty()) {
+    for (size_t c = 0; c < kNumFuzzClasses; ++c) {
+      classes.push_back(static_cast<FuzzClass>(c));
+    }
+  }
+
+  CheckSummary summary;
+  for (size_t i = 0; i < opt.num_seeds; ++i) {
+    const uint64_t seed = opt.first_seed + i;
+    const FuzzClass cls = classes[i % classes.size()];
+    DiffReport report = RunDifferentialCase(seed, cls, opt.fuzz);
+    ++summary.cases_run;
+    summary.paths_diffed += report.paths_run;
+    if (report.reference_skipped) ++summary.skipped;
+    if (report.ok()) continue;
+
+    if (opt.shrink) {
+      ShrinkResult shrunk =
+          ShrinkCase(report.query, report.db, opt.fuzz);
+      if (!shrunk.mismatches.empty()) {
+        report.query = std::move(shrunk.query);
+        report.db = std::move(shrunk.db);
+        report.mismatches = std::move(shrunk.mismatches);
+      }
+    }
+    if (!opt.regress_dir.empty()) {
+      std::vector<std::string> comments;
+      comments.push_back("found by fuzz_check: seed " +
+                         std::to_string(report.seed) + " class " +
+                         FuzzClassName(report.cls));
+      for (const std::string& m : report.mismatches) {
+        // First line only: mismatch messages can embed relation dumps.
+        comments.push_back(m.substr(0, m.find('\n')));
+      }
+      const std::string path = opt.regress_dir + "/seed" +
+                               std::to_string(report.seed) + "-" +
+                               FuzzClassName(report.cls) + ".fgqr";
+      WriteRegressionCase(path, report.query, report.db, comments)
+          .ok();  // Best effort: the failure is reported either way.
+    }
+    summary.failures.push_back(std::move(report));
+  }
+  return summary;
+}
+
+std::string CheckSummary::ToString() const {
+  std::string out = std::to_string(cases_run) + " cases, " +
+                    std::to_string(paths_diffed) + " paths diffed, " +
+                    std::to_string(skipped) + " skipped, " +
+                    std::to_string(failures.size()) + " failures\n";
+  for (const DiffReport& f : failures) {
+    out += "--------\n" + f.ToString();
+  }
+  return out;
+}
+
+Status ReplayRegressionDir(const std::string& dir, const FuzzOptions& opt,
+                           std::string* report) {
+  std::string log;
+  size_t failures = 0;
+  for (const std::string& path : ListRegressionFiles(dir)) {
+    Result<RegressionCase> loaded = LoadRegressionCase(path);
+    if (!loaded.ok()) {
+      ++failures;
+      log += path + ": " + loaded.status().ToString() + "\n";
+      continue;
+    }
+    size_t paths = 0;
+    bool skipped = false;
+    const std::vector<std::string> mismatches =
+        DiffCase(loaded.value().query, loaded.value().db, opt, &paths,
+                 &skipped);
+    if (skipped) {
+      ++failures;
+      log += loaded.value().name +
+             ": reference refused (case too large for the regression "
+             "corpus)\n";
+      continue;
+    }
+    if (!mismatches.empty()) {
+      ++failures;
+      log += loaded.value().name + " (" + std::to_string(paths) +
+             " paths):\n";
+      for (const std::string& m : mismatches) log += "  " + m + "\n";
+    }
+  }
+  if (report) *report = log;
+  if (failures > 0) {
+    return Status::Internal(std::to_string(failures) +
+                            " regression case(s) failed:\n" + log);
+  }
+  return Status::OK();
+}
+
+}  // namespace fgq

@@ -1,0 +1,64 @@
+#ifndef FGQ_CHECK_CHECK_H_
+#define FGQ_CHECK_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fgq/check/differ.h"
+#include "fgq/check/shrink.h"
+
+/// \file check.h
+/// The top of the differential-testing subsystem: run a seed range, shrink
+/// what fails, replay the committed corpus.
+///
+/// RunSeedRange is what both the `fuzz_check` example binary and the CI
+/// fuzz steps call: case i uses seed `first_seed + i` and cycles through
+/// the enabled classes (case i draws class i mod |classes|), so any seed
+/// count exercises every query population evenly and a single (seed,
+/// class) pair reproduces any failure. ReplayRegressionDir is the tier-1
+/// half: every `.fgqr` file under tests/regress/ is re-diffed on every
+/// test run, so a bug the fuzzer once caught can never quietly return.
+
+namespace fgq {
+
+struct CheckOptions {
+  FuzzOptions fuzz;
+  uint64_t first_seed = 0;
+  size_t num_seeds = 100;
+  /// Classes to cycle through; empty means all kNumFuzzClasses.
+  std::vector<FuzzClass> classes;
+  /// Shrink failures before reporting (and before writing regressions).
+  bool shrink = true;
+  /// When non-empty, each (shrunk) failure is written here as
+  /// seed<seed>-<class>.fgqr.
+  std::string regress_dir;
+};
+
+struct CheckSummary {
+  size_t cases_run = 0;
+  /// Total evaluation paths diffed across all cases.
+  size_t paths_diffed = 0;
+  /// Cases the reference refused (assignment budget) — not checked.
+  size_t skipped = 0;
+  /// Failing cases, shrunk when CheckOptions::shrink is set.
+  std::vector<DiffReport> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// One-line totals plus a full dump of every failure.
+  std::string ToString() const;
+};
+
+/// Runs `num_seeds` differential cases. Deterministic: the summary is a
+/// pure function of the options.
+CheckSummary RunSeedRange(const CheckOptions& opt);
+
+/// Re-diffs every `.fgqr` case under `dir`. OK when all pass (including
+/// the vacuous empty-directory case); Internal with a full report in
+/// `report` (optional) when any case fails to load or to verify.
+Status ReplayRegressionDir(const std::string& dir, const FuzzOptions& opt,
+                           std::string* report = nullptr);
+
+}  // namespace fgq
+
+#endif  // FGQ_CHECK_CHECK_H_

@@ -1,0 +1,357 @@
+#include "fgq/check/differ.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "fgq/check/reference.h"
+#include "fgq/eval/engine.h"
+#include "fgq/eval/ucq_enum.h"
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/serve/query_service.h"
+#include "fgq/util/hash.h"
+
+namespace fgq {
+
+namespace {
+
+/// Canonical form for comparison: sorted, deduplicated; arity-0 relations
+/// normalize their marker count to 0/1 (set semantics — the reference may
+/// have recorded one marker per satisfying assignment).
+Relation Canon(const Relation& r) {
+  Relation out(r.name(), r.arity());
+  if (r.arity() == 0) {
+    if (r.NumTuples() > 0) out.AddNullary();
+    return out;
+  }
+  out.AppendFrom(r);
+  out.SortDedup();
+  return out;
+}
+
+bool SameAnswers(const Relation& canon_a, const Relation& canon_b) {
+  if (canon_a.arity() != canon_b.arity()) return false;
+  if (canon_a.arity() == 0) {
+    return (canon_a.NumTuples() > 0) == (canon_b.NumTuples() > 0);
+  }
+  return canon_a.NumTuples() == canon_b.NumTuples() &&
+         canon_a.raw() == canon_b.raw();
+}
+
+std::string DescribeDiff(const std::string& path, const Relation& expected,
+                         const Relation& actual) {
+  std::string msg = path + ": expected " +
+                    std::to_string(expected.NumTuples()) + " answers, got " +
+                    std::to_string(actual.NumTuples());
+  if (expected.NumTuples() <= 24 && actual.NumTuples() <= 24) {
+    msg += "\n  expected: " + expected.ToString(24) +
+           "\n  actual:   " + actual.ToString(24);
+  }
+  return msg;
+}
+
+/// Collects mismatches for one fixed case.
+class CaseDiffer {
+ public:
+  CaseDiffer(const Database& db, const FuzzOptions& opt,
+             std::vector<std::string>* out)
+      : db_(db), opt_(opt), out_(out) {}
+
+  size_t paths_run() const { return paths_run_; }
+
+  void Check(const std::string& path, const Relation& reference,
+             const Result<Relation>& actual) {
+    ++paths_run_;
+    if (!actual.ok()) {
+      out_->push_back(path + ": failed where the reference succeeded: " +
+                      actual.status().ToString());
+      return;
+    }
+    Relation canon = Canon(actual.value());
+    if (!SameAnswers(reference, canon)) {
+      out_->push_back(DescribeDiff(path, reference, canon));
+    }
+  }
+
+  /// Drains an enumerator with a budget and a repetition check.
+  Result<Relation> Drain(AnswerEnumerator* e, size_t arity,
+                         size_t reference_count, const std::string& path) {
+    Relation out("drained", arity);
+    std::unordered_set<Tuple, VecHash> seen;
+    const size_t budget = 4 * reference_count + 64;
+    Tuple t;
+    size_t produced = 0;
+    while (e->Next(&t)) {
+      if (++produced > budget) {
+        return Status::Internal(path + ": enumerator exceeded " +
+                                std::to_string(budget) +
+                                " answers (runaway or cyclic stream)");
+      }
+      if (!seen.insert(t).second) {
+        return Status::Internal(path + ": repeated answer (violates the "
+                                       "no-repetition contract)");
+      }
+      if (arity == 0) {
+        out.AddNullary();
+      } else {
+        out.Add(t);
+      }
+    }
+    return out;
+  }
+
+  void CheckEnumerator(const std::string& path, const Relation& reference,
+                       Result<std::unique_ptr<AnswerEnumerator>> e) {
+    ++paths_run_;
+    if (!e.ok()) {
+      out_->push_back(path + ": factory failed where the reference "
+                             "succeeded: " + e.status().ToString());
+      return;
+    }
+    Result<Relation> drained =
+        Drain(e.value().get(), reference.arity(), reference.NumTuples(), path);
+    if (!drained.ok()) {
+      out_->push_back(drained.status().message());
+      return;
+    }
+    Relation canon = Canon(drained.value());
+    if (!SameAnswers(reference, canon)) {
+      out_->push_back(DescribeDiff(path, reference, canon));
+    }
+  }
+
+  /// All single-CQ paths.
+  void DiffConjunctive(const ConjunctiveQuery& q, const Relation& reference) {
+    const QueryClass cls = Engine::Classify(q);
+
+    Engine serial{ExecOptions::Serial()};
+    {
+      Result<QueryResult> r = serial.Execute(q, db_);
+      Check("engine-serial", reference,
+            r.ok() ? Result<Relation>(r.value().answers)
+                   : Result<Relation>(r.status()));
+    }
+    {
+      Engine parallel{ExecOptions::Parallel(opt_.parallel_threads)};
+      Result<QueryResult> r = parallel.Execute(q, db_);
+      Check("engine-parallel", reference,
+            r.ok() ? Result<Relation>(r.value().answers)
+                   : Result<Relation>(r.status()));
+    }
+    {
+      ++paths_run_;
+      Result<BigInt> c = serial.Count(q, db_);
+      const BigInt want = BigInt::FromUint64(
+          reference.arity() == 0 ? (reference.NumTuples() > 0 ? 1 : 0)
+                                 : reference.NumTuples());
+      if (!c.ok()) {
+        out_->push_back("engine-count: failed where the reference "
+                        "succeeded: " + c.status().ToString());
+      } else if (c.value() != want) {
+        out_->push_back("engine-count: expected " + want.ToString() +
+                        ", got " + c.value().ToString());
+      }
+    }
+    CheckEnumerator("engine-enumerate", reference, serial.Enumerate(q, db_));
+    if (!q.HasNegation() && q.comparisons().empty() && IsAcyclicQuery(q)) {
+      CheckEnumerator("enum-linear-delay", reference,
+                      MakeLinearDelayEnumerator(q, db_));
+    }
+    if (cls == QueryClass::kBooleanAcyclic ||
+        cls == QueryClass::kFreeConnexAcyclic) {
+      CheckEnumerator("enum-constant-delay", reference,
+                      MakeConstantDelayEnumerator(q, db_));
+    }
+    if (opt_.include_service) DiffService(q, reference);
+  }
+
+  /// The serving-layer paths: cold, cache hit, count verb, post-mutation.
+  void DiffService(const ConjunctiveQuery& q, const Relation& reference) {
+    Database sdb = db_;  // Mutable copy: the mutation path bumps versions.
+    ServiceOptions sopts;
+    sopts.num_workers = 2;
+    QueryService service(&sdb, sopts);
+
+    auto rows = [&](const std::string& path, bool want_cache_hit) {
+      ++paths_run_;
+      ServiceRequest req;
+      req.query = q;
+      req.verb = ServeVerb::kRows;
+      ServiceResponse resp = service.Call(std::move(req));
+      if (!resp.status.ok()) {
+        out_->push_back(path + ": failed where the reference succeeded: " +
+                        resp.status.ToString());
+        return;
+      }
+      if (resp.cache_hit != want_cache_hit) {
+        out_->push_back(path + ": expected cache_hit=" +
+                        (want_cache_hit ? "true" : "false") + ", got " +
+                        (resp.cache_hit ? "true" : "false"));
+      }
+      Relation canon = resp.answers ? Canon(*resp.answers)
+                                    : Relation(q.name(), q.arity());
+      if (!SameAnswers(reference, canon)) {
+        out_->push_back(DescribeDiff(path, reference, canon));
+      }
+    };
+
+    rows("serve-cold", /*want_cache_hit=*/false);
+    rows("serve-cache-hit", /*want_cache_hit=*/true);
+    {
+      ++paths_run_;
+      ServiceRequest req;
+      req.query = q;
+      req.verb = ServeVerb::kCount;
+      ServiceResponse resp = service.Call(std::move(req));
+      const BigInt want = BigInt::FromUint64(
+          reference.arity() == 0 ? (reference.NumTuples() > 0 ? 1 : 0)
+                                 : reference.NumTuples());
+      if (!resp.status.ok()) {
+        out_->push_back("serve-count: failed where the reference "
+                        "succeeded: " + resp.status.ToString());
+      } else if (resp.count != want) {
+        out_->push_back("serve-count: expected " + want.ToString() +
+                        ", got " + resp.count.ToString());
+      }
+    }
+    // Mutate the database (re-put the first relation: contents unchanged,
+    // version bumped) and verify the cached plan is NOT reused and the
+    // fresh answers still match.
+    if (!sdb.relations().empty()) {
+      Relation copy = sdb.relations().begin()->second;
+      sdb.PutRelation(std::move(copy));
+      rows("serve-post-mutation", /*want_cache_hit=*/false);
+    }
+    service.Stop();
+  }
+
+  /// The union paths.
+  void DiffUnion(const UnionQuery& u, const Relation& reference) {
+    {
+      Result<std::unique_ptr<AnswerEnumerator>> e =
+          MakeUnionEnumerator(u, db_);
+      if (!e.ok() && (e.status().code() == StatusCode::kInvalidArgument ||
+                      e.status().code() == StatusCode::kUnsupported)) {
+        // Not every union is (repairably) free-connex; declining to
+        // enumerate is a legitimate outcome, not a wrong answer.
+      } else {
+        CheckEnumerator("union-enumerator", reference, std::move(e));
+      }
+    }
+    {
+      ++paths_run_;
+      Engine serial{ExecOptions::Serial()};
+      Relation merged(u.name, u.arity());
+      Status failed = Status::OK();
+      for (const ConjunctiveQuery& q : u.disjuncts) {
+        Result<QueryResult> r = serial.Execute(q, db_);
+        if (!r.ok()) {
+          failed = r.status();
+          break;
+        }
+        merged.AppendFrom(r.value().answers);
+      }
+      if (!failed.ok()) {
+        out_->push_back("union-via-engine: failed where the reference "
+                        "succeeded: " + failed.ToString());
+      } else {
+        Relation canon = Canon(merged);
+        if (!SameAnswers(reference, canon)) {
+          out_->push_back(DescribeDiff("union-via-engine", reference, canon));
+        }
+      }
+    }
+  }
+
+ private:
+  const Database& db_;
+  const FuzzOptions& opt_;
+  std::vector<std::string>* out_;
+  size_t paths_run_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::string> DiffCase(const UnionQuery& u, const Database& db,
+                                  const FuzzOptions& opt, size_t* paths_run,
+                                  bool* reference_skipped) {
+  std::vector<std::string> mismatches;
+  if (paths_run) *paths_run = 0;
+  if (reference_skipped) *reference_skipped = false;
+  if (u.disjuncts.empty()) return mismatches;
+
+  CaseDiffer differ(db, opt, &mismatches);
+  if (u.disjuncts.size() == 1) {
+    const ConjunctiveQuery& q = u.disjuncts[0];
+    Result<Relation> ref = ReferenceEvaluate(q, db, opt.reference_limit);
+    if (!ref.ok()) {
+      if (ref.status().code() == StatusCode::kUnsupported) {
+        if (reference_skipped) *reference_skipped = true;
+      } else {
+        mismatches.push_back("reference failed: " + ref.status().ToString());
+      }
+      return mismatches;
+    }
+    differ.DiffConjunctive(q, Canon(ref.value()));
+  } else {
+    Result<Relation> ref = ReferenceEvaluateUnion(u, db, opt.reference_limit);
+    if (!ref.ok()) {
+      if (ref.status().code() == StatusCode::kUnsupported) {
+        if (reference_skipped) *reference_skipped = true;
+      } else {
+        mismatches.push_back("reference failed: " + ref.status().ToString());
+      }
+      return mismatches;
+    }
+    differ.DiffUnion(u, Canon(ref.value()));
+    // Each disjunct also runs the serial engine on its own: a disjunct
+    // bug can hide behind the union's dedup.
+    for (size_t i = 0; i < u.disjuncts.size(); ++i) {
+      Result<Relation> dref =
+          ReferenceEvaluate(u.disjuncts[i], db, opt.reference_limit);
+      if (!dref.ok()) continue;
+      Engine serial{ExecOptions::Serial()};
+      Result<QueryResult> r = serial.Execute(u.disjuncts[i], db);
+      differ.Check("disjunct-" + std::to_string(i) + "-engine",
+                   dref.value(),
+                   r.ok() ? Result<Relation>(r.value().answers)
+                          : Result<Relation>(r.status()));
+    }
+  }
+  if (paths_run) *paths_run = differ.paths_run();
+  return mismatches;
+}
+
+DiffReport RunDifferentialCase(uint64_t seed, FuzzClass cls,
+                               const FuzzOptions& opt) {
+  DiffReport report;
+  report.seed = seed;
+  report.cls = cls;
+  // Decorrelate (seed, class) pairs: nearby seeds across classes must not
+  // reuse each other's random streams.
+  Rng rng(HashCombine(seed, static_cast<uint64_t>(cls) + 0x51ed));
+  if (cls == FuzzClass::kUnion) {
+    report.query = GenerateFuzzUnion(opt, &rng);
+  } else {
+    report.query.name = "Q";
+    report.query.disjuncts.push_back(GenerateFuzzQuery(cls, opt, &rng));
+  }
+  report.db = GenerateFuzzDatabase(report.query, opt, &rng);
+  report.mismatches = DiffCase(report.query, report.db, opt,
+                               &report.paths_run, &report.reference_skipped);
+  return report;
+}
+
+std::string DiffReport::ToString() const {
+  std::string out = "seed " + std::to_string(seed) + " class " +
+                    FuzzClassName(cls) + " (" +
+                    std::to_string(paths_run) + " paths)\n";
+  out += query.disjuncts.size() == 1 ? query.disjuncts[0].ToString()
+                                     : query.ToString();
+  out += "\n" + db.ToString(8);
+  for (const std::string& m : mismatches) {
+    out += "MISMATCH " + m + "\n";
+  }
+  return out;
+}
+
+}  // namespace fgq

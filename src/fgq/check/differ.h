@@ -1,0 +1,67 @@
+#ifndef FGQ_CHECK_DIFFER_H_
+#define FGQ_CHECK_DIFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fgq/check/gen.h"
+#include "fgq/db/database.h"
+#include "fgq/query/cq.h"
+
+/// \file differ.h
+/// The differential runner: one (query, database) pair, every applicable
+/// evaluation path, all diffed against the brute-force reference.
+///
+/// For a conjunctive query the paths are: the Engine facade at 1 thread
+/// and at FuzzOptions::parallel_threads threads, Engine::Count,
+/// Engine::Enumerate, the linear-delay enumerator (plain ACQs), the
+/// constant-delay enumerator (free-connex ACQs), and — when
+/// include_service is set — the QueryService cold path, the cache-hit
+/// path, the count verb, and the post-mutation (invalidated-cache) path.
+/// For a multi-disjunct union the union enumerator and the disjunct-wise
+/// Engine union are diffed against the union reference, and each disjunct
+/// additionally runs through the serial Engine on its own.
+///
+/// Enumerator paths are drained with a budget (a runaway enumerator is
+/// reported as a mismatch, not an endless loop) and checked for repeated
+/// answers (the enumerators' no-repetition contract).
+
+namespace fgq {
+
+/// The outcome of one differential case.
+struct DiffReport {
+  uint64_t seed = 0;
+  FuzzClass cls = FuzzClass::kFreeConnex;
+  /// The case under test; one disjunct for conjunctive classes.
+  UnionQuery query;
+  Database db;
+  /// Human-readable descriptions of every disagreement (empty = pass).
+  std::vector<std::string> mismatches;
+  /// Evaluation paths actually executed and compared.
+  size_t paths_run = 0;
+  /// True when the reference refused (assignment budget); nothing was
+  /// checked. Never happens with default FuzzOptions sizes.
+  bool reference_skipped = false;
+
+  bool ok() const { return mismatches.empty(); }
+  /// Multi-line summary: query, database sizes, mismatches.
+  std::string ToString() const;
+};
+
+/// Diffs every applicable path on a fixed case. `paths_run` and
+/// `reference_skipped` (both optional) report coverage.
+std::vector<std::string> DiffCase(const UnionQuery& u, const Database& db,
+                                  const FuzzOptions& opt,
+                                  size_t* paths_run = nullptr,
+                                  bool* reference_skipped = nullptr);
+
+/// Generates the (query, db) pair for (seed, cls) and diffs it. The
+/// generation is a pure function of the seed, so a failing report is
+/// reproducible from (seed, cls, opt) alone.
+DiffReport RunDifferentialCase(uint64_t seed, FuzzClass cls,
+                               const FuzzOptions& opt);
+
+}  // namespace fgq
+
+#endif  // FGQ_CHECK_DIFFER_H_

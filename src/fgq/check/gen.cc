@@ -1,0 +1,394 @@
+#include "fgq/check/gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "fgq/eval/engine.h"
+
+namespace fgq {
+
+namespace {
+
+std::string VarName(size_t i) { return "v" + std::to_string(i); }
+
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[rng->Below(i)]);
+  }
+}
+
+/// A random positive body whose hypergraph has a join tree by
+/// construction: atom i's old variables all come from one earlier atom.
+struct Body {
+  std::vector<Atom> atoms;
+  std::vector<std::string> vars;            // Distinct, first-use order.
+  std::vector<std::vector<std::string>> atom_vars;  // Per atom.
+};
+
+Body GenBody(const FuzzOptions& opt, Rng* rng, size_t max_atoms) {
+  Body b;
+  const size_t natoms = 1 + rng->Below(max_atoms);
+  for (size_t i = 0; i < natoms; ++i) {
+    Atom a;
+    size_t arity;
+    if (i > 0 && rng->Chance(opt.self_join_prob)) {
+      const Atom& prev = b.atoms[rng->Below(i)];
+      a.relation = prev.relation;
+      arity = prev.args.size();
+    } else {
+      a.relation = "R" + std::to_string(i);
+      arity = 1 + rng->Below(opt.max_arity);
+    }
+    // The one earlier atom this atom may share variables with.
+    const std::vector<std::string>* base =
+        i > 0 ? &b.atom_vars[rng->Below(i)] : nullptr;
+    std::vector<std::string> mine;
+    for (size_t k = 0; k < arity; ++k) {
+      if (rng->Chance(opt.constant_prob)) {
+        a.args.push_back(
+            Term::Const(static_cast<Value>(rng->Below(
+                static_cast<uint64_t>(opt.domain)))));
+        continue;
+      }
+      std::string v;
+      if (!mine.empty() && rng->Chance(opt.repeat_var_prob)) {
+        v = mine[rng->Below(mine.size())];
+      } else if (base != nullptr && !base->empty() &&
+                 (b.vars.size() >= opt.max_vars || rng->Chance(0.6))) {
+        v = (*base)[rng->Below(base->size())];
+      } else if (b.vars.size() < opt.max_vars) {
+        v = VarName(b.vars.size());
+        b.vars.push_back(v);
+      } else if (base != nullptr && !base->empty()) {
+        v = (*base)[rng->Below(base->size())];
+      } else if (!mine.empty()) {
+        v = mine[rng->Below(mine.size())];
+      } else if (!b.vars.empty()) {
+        v = b.vars[0];  // Last resort keeps the sharing tree-shaped only
+                        // for fresh atoms; harmless for atom 0.
+      } else {
+        v = VarName(0);
+        b.vars.push_back(v);
+      }
+      if (std::find(mine.begin(), mine.end(), v) == mine.end()) {
+        mine.push_back(v);
+      }
+      a.args.push_back(Term::Var(v));
+    }
+    b.atom_vars.push_back(std::move(mine));
+    b.atoms.push_back(std::move(a));
+  }
+  return b;
+}
+
+/// A random head: a shuffled subset of `vars` (possibly empty).
+std::vector<std::string> RandomHead(const std::vector<std::string>& vars,
+                                    Rng* rng) {
+  std::vector<std::string> head;
+  for (const std::string& v : vars) {
+    if (rng->Chance(0.5)) head.push_back(v);
+  }
+  Shuffle(&head, rng);
+  return head;
+}
+
+ConjunctiveQuery MakeQuery(const Body& b, std::vector<std::string> head) {
+  return ConjunctiveQuery("Q", std::move(head), b.atoms);
+}
+
+bool Classifies(const ConjunctiveQuery& q, QueryClass want) {
+  return q.Validate().ok() && Engine::Classify(q) == want;
+}
+
+/// Adds 1-2 comparisons over the body's variables. `ops` is the pool of
+/// operators to draw from.
+void AddComparisons(ConjunctiveQuery* q, const std::vector<Comparison::Op>& ops,
+                    const std::vector<std::string>& vars, Rng* rng) {
+  const size_t n = 1 + rng->Below(2);
+  for (size_t i = 0; i < n; ++i) {
+    Comparison c;
+    c.lhs = vars[rng->Below(vars.size())];
+    c.rhs = vars[rng->Below(vars.size())];
+    if (c.lhs == c.rhs) continue;  // x < x / x != x add nothing but noise.
+    c.op = ops[rng->Below(ops.size())];
+    q->AddComparison(std::move(c));
+  }
+}
+
+/// Deterministic fallbacks, used when the randomized retry loop fails to
+/// land in the target class (rare; keeps generation total).
+ConjunctiveQuery Fallback(FuzzClass cls) {
+  Atom r0, r1, r2;
+  r0.relation = "R0";
+  r0.args = {Term::Var("v0"), Term::Var("v1")};
+  r1.relation = "R1";
+  r1.args = {Term::Var("v1"), Term::Var("v2")};
+  r2.relation = "R2";
+  r2.args = {Term::Var("v2"), Term::Var("v0")};
+  switch (cls) {
+    case FuzzClass::kBooleanAcyclic:
+      return ConjunctiveQuery("Q", {}, {r0, r1});
+    case FuzzClass::kFreeConnex:
+      return ConjunctiveQuery("Q", {"v0", "v1"}, {r0});
+    case FuzzClass::kGeneralAcyclic:
+      return ConjunctiveQuery("Q", {"v0", "v2"}, {r0, r1});
+    case FuzzClass::kDisequalities: {
+      ConjunctiveQuery q("Q", {"v0", "v2"}, {r0, r1});
+      q.AddComparison({"v0", "v2", Comparison::Op::kNotEqual});
+      return q;
+    }
+    case FuzzClass::kOrderComparisons: {
+      ConjunctiveQuery q("Q", {"v0", "v2"}, {r0, r1});
+      q.AddComparison({"v0", "v2", Comparison::Op::kLess});
+      return q;
+    }
+    case FuzzClass::kNegated: {
+      Atom n = r1;
+      n.negated = true;
+      return ConjunctiveQuery("Q", {"v0"}, {r0, n});
+    }
+    case FuzzClass::kCyclic:
+    case FuzzClass::kUnion:
+      return ConjunctiveQuery("Q", {"v0"}, {r0, r1, r2});
+  }
+  return ConjunctiveQuery("Q", {}, {r0});
+}
+
+constexpr int kRetries = 64;
+
+}  // namespace
+
+const char* FuzzClassName(FuzzClass c) {
+  switch (c) {
+    case FuzzClass::kBooleanAcyclic:
+      return "boolean-acyclic";
+    case FuzzClass::kFreeConnex:
+      return "free-connex";
+    case FuzzClass::kGeneralAcyclic:
+      return "general-acyclic";
+    case FuzzClass::kDisequalities:
+      return "disequalities";
+    case FuzzClass::kOrderComparisons:
+      return "order-comparisons";
+    case FuzzClass::kNegated:
+      return "negated";
+    case FuzzClass::kCyclic:
+      return "cyclic";
+    case FuzzClass::kUnion:
+      return "union";
+  }
+  return "unknown";
+}
+
+bool FuzzClassFromName(const std::string& name, FuzzClass* out) {
+  for (size_t i = 0; i < kNumFuzzClasses; ++i) {
+    FuzzClass c = static_cast<FuzzClass>(i);
+    if (name == FuzzClassName(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+ConjunctiveQuery GenerateFuzzQuery(FuzzClass cls, const FuzzOptions& opt,
+                                   Rng* rng) {
+  for (int attempt = 0; attempt < kRetries; ++attempt) {
+    Body b = GenBody(opt, rng, opt.max_atoms);
+    switch (cls) {
+      case FuzzClass::kBooleanAcyclic: {
+        ConjunctiveQuery q = MakeQuery(b, {});
+        if (Classifies(q, QueryClass::kBooleanAcyclic)) return q;
+        break;
+      }
+      case FuzzClass::kFreeConnex: {
+        ConjunctiveQuery q = MakeQuery(b, RandomHead(b.vars, rng));
+        if (Classifies(q, QueryClass::kFreeConnexAcyclic)) return q;
+        // A quantifier-free acyclic query is always free-connex.
+        q = MakeQuery(b, b.vars);
+        if (Classifies(q, QueryClass::kFreeConnexAcyclic)) return q;
+        break;
+      }
+      case FuzzClass::kGeneralAcyclic: {
+        ConjunctiveQuery q = MakeQuery(b, RandomHead(b.vars, rng));
+        if (Classifies(q, QueryClass::kGeneralAcyclic)) return q;
+        break;
+      }
+      case FuzzClass::kDisequalities:
+      case FuzzClass::kOrderComparisons: {
+        if (b.vars.size() < 2) break;
+        ConjunctiveQuery q = MakeQuery(b, RandomHead(b.vars, rng));
+        if (cls == FuzzClass::kDisequalities) {
+          AddComparisons(&q, {Comparison::Op::kNotEqual}, b.vars, rng);
+          if (Classifies(q, QueryClass::kAcyclicDisequalities)) return q;
+        } else {
+          AddComparisons(&q,
+                         {Comparison::Op::kLess, Comparison::Op::kLessEq,
+                          Comparison::Op::kNotEqual},
+                         b.vars, rng);
+          if (Classifies(q, QueryClass::kAcyclicOrderComparisons)) return q;
+        }
+        break;
+      }
+      case FuzzClass::kNegated: {
+        ConjunctiveQuery q = MakeQuery(b, RandomHead(b.vars, rng));
+        const size_t nneg = 1 + rng->Below(2);
+        for (size_t i = 0; i < nneg; ++i) {
+          Atom n;
+          n.negated = true;
+          if (rng->Chance(0.3)) {
+            // Negate an existing symbol: tuples both asserted and denied.
+            const Atom& pos = b.atoms[rng->Below(b.atoms.size())];
+            n.relation = pos.relation;
+            n.args.resize(pos.args.size());
+          } else {
+            n.relation = "N" + std::to_string(i);
+            n.args.resize(1 + rng->Below(opt.max_arity));
+          }
+          for (Term& t : n.args) {
+            if (rng->Chance(opt.constant_prob)) {
+              t = Term::Const(static_cast<Value>(
+                  rng->Below(static_cast<uint64_t>(opt.domain))));
+            } else if (!b.vars.empty() && rng->Chance(0.85)) {
+              t = Term::Var(b.vars[rng->Below(b.vars.size())]);
+            } else {
+              // A variable constrained only by the negated atom: it
+              // ranges over the whole declared domain.
+              t = Term::Var("w" + std::to_string(i));
+            }
+          }
+          q.AddAtom(std::move(n));
+        }
+        if (rng->Chance(0.25) && b.vars.size() >= 2) {
+          AddComparisons(&q, {Comparison::Op::kNotEqual}, b.vars, rng);
+        }
+        if (q.Validate().ok() &&
+            Engine::Classify(q) == QueryClass::kNegated) {
+          return q;
+        }
+        break;
+      }
+      case FuzzClass::kCyclic: {
+        if (b.vars.size() < 3) break;
+        // Close a cycle over three body variables with a fresh atom.
+        Atom c;
+        c.relation = "C0";
+        const std::string& x = b.vars[0];
+        const std::string& y = b.vars[1];
+        const std::string& z = b.vars[2];
+        Atom c2;
+        c.args = {Term::Var(x), Term::Var(y)};
+        c2.relation = "C1";
+        c2.args = {Term::Var(y), Term::Var(z)};
+        Atom c3;
+        c3.relation = "C2";
+        c3.args = {Term::Var(z), Term::Var(x)};
+        Body bb = b;
+        bb.atoms.push_back(c);
+        bb.atoms.push_back(c2);
+        bb.atoms.push_back(c3);
+        ConjunctiveQuery q = MakeQuery(bb, RandomHead(b.vars, rng));
+        if (Classifies(q, QueryClass::kCyclic)) return q;
+        break;
+      }
+      case FuzzClass::kUnion:
+        break;  // Handled by GenerateFuzzUnion.
+    }
+  }
+  return Fallback(cls);
+}
+
+UnionQuery GenerateFuzzUnion(const FuzzOptions& opt, Rng* rng) {
+  UnionQuery u;
+  u.name = "Q";
+  const size_t arity = 1 + rng->Below(2);
+  const size_t n =
+      2 + rng->Below(opt.max_disjuncts > 2 ? opt.max_disjuncts - 1 : 1);
+  // Relation arities already used, so disjuncts can share symbols (the
+  // union-extension search needs shared symbols to find providers).
+  std::map<std::string, size_t> arities;
+  for (size_t d = 0; d < n && u.disjuncts.size() < n; ++d) {
+    for (int attempt = 0; attempt < kRetries; ++attempt) {
+      Body b = GenBody(opt, rng, 3);
+      // Rename relations: share an existing symbol when arity matches.
+      for (Atom& a : b.atoms) {
+        std::vector<std::string> candidates;
+        for (const auto& [name, ar] : arities) {
+          if (ar == a.args.size()) candidates.push_back(name);
+        }
+        if (!candidates.empty() && rng->Chance(0.5)) {
+          a.relation = candidates[rng->Below(candidates.size())];
+        } else {
+          a.relation = "S" + std::to_string(arities.size());
+          arities[a.relation] = a.args.size();
+        }
+      }
+      if (b.vars.size() < arity) continue;
+      std::vector<std::string> head(b.vars.begin(),
+                                    b.vars.begin() +
+                                        static_cast<ptrdiff_t>(arity));
+      Shuffle(&head, rng);
+      ConjunctiveQuery q("Q", head, b.atoms);
+      if (!q.Validate().ok() || Engine::Classify(q) == QueryClass::kCyclic) {
+        continue;
+      }
+      u.disjuncts.push_back(std::move(q));
+      break;
+    }
+  }
+  if (u.disjuncts.size() < 2) {
+    // Deterministic two-disjunct fallback (both free-connex).
+    Atom a;
+    a.relation = "S0";
+    a.args = {Term::Var("v0"), Term::Var("v1")};
+    Atom b;
+    b.relation = "S1";
+    b.args = {Term::Var("v0"), Term::Var("v1")};
+    u.disjuncts.clear();
+    u.disjuncts.push_back(ConjunctiveQuery("Q", {"v0"}, {a}));
+    u.disjuncts.push_back(ConjunctiveQuery("Q", {"v1"}, {b}));
+  }
+  return u;
+}
+
+Database GenerateFuzzDatabase(const UnionQuery& u, const FuzzOptions& opt,
+                              Rng* rng) {
+  // One relation per distinct symbol; arity from the first occurrence.
+  std::map<std::string, size_t> arities;
+  for (const ConjunctiveQuery& q : u.disjuncts) {
+    for (const Atom& a : q.atoms()) {
+      arities.emplace(a.relation, a.args.size());
+    }
+  }
+  Database db;
+  const Value hot = std::max<Value>(1, opt.domain / 3);
+  for (const auto& [name, arity] : arities) {
+    Relation rel(name, arity);
+    if (!rng->Chance(opt.empty_relation_prob)) {
+      const size_t tuples = 1 + rng->Below(opt.max_tuples);
+      Tuple t(arity);
+      for (size_t i = 0; i < tuples; ++i) {
+        for (size_t c = 0; c < arity; ++c) {
+          t[c] = rng->Chance(opt.skew)
+                     ? static_cast<Value>(
+                           rng->Below(static_cast<uint64_t>(hot)))
+                     : static_cast<Value>(
+                           rng->Below(static_cast<uint64_t>(opt.domain)));
+        }
+        rel.Add(t);
+      }
+      rel.SortDedup();
+    }
+    db.PutRelation(std::move(rel));
+  }
+  // Pin the domain: variables constrained only by negated atoms or
+  // comparisons range over [0, DomainSize()) in every evaluator, so the
+  // domain must not depend on which values happened to be generated.
+  db.DeclareDomainSize(opt.domain);
+  return db;
+}
+
+}  // namespace fgq

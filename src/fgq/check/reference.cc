@@ -1,0 +1,141 @@
+#include "fgq/check/reference.h"
+
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "fgq/util/hash.h"
+
+namespace fgq {
+
+namespace {
+
+/// A positive or negated atom resolved for membership testing: the
+/// relation's tuples in a hash set, plus per-argument slots (variable
+/// index or constant).
+struct ResolvedAtom {
+  bool negated = false;
+  std::unordered_set<Tuple, VecHash> tuples;
+  /// For each argument: >= 0 is an index into the assignment vector,
+  /// < 0 encodes the constant -(c + 1).
+  std::vector<int64_t> slots;
+};
+
+}  // namespace
+
+Result<Relation> ReferenceEvaluate(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   size_t assignment_limit) {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  const std::vector<std::string> vars = q.Variables();
+  std::map<std::string, size_t> var_index;
+  for (size_t i = 0; i < vars.size(); ++i) var_index[vars[i]] = i;
+
+  const Value domain = db.DomainSize();
+  // domain^|vars| with overflow saturation.
+  size_t total = 1;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (domain <= 0) {
+      total = 0;
+      break;
+    }
+    if (total > assignment_limit / static_cast<size_t>(domain) + 1) {
+      return Status::Unsupported(
+          "reference evaluation would enumerate more than " +
+          std::to_string(assignment_limit) + " assignments");
+    }
+    total *= static_cast<size_t>(domain);
+  }
+  if (total > assignment_limit) {
+    return Status::Unsupported(
+        "reference evaluation would enumerate more than " +
+        std::to_string(assignment_limit) + " assignments");
+  }
+
+  std::vector<ResolvedAtom> atoms;
+  for (const Atom& a : q.atoms()) {
+    FGQ_ASSIGN_OR_RETURN(const Relation* rel, db.Find(a.relation));
+    if (rel->arity() != a.args.size()) {
+      return Status::InvalidArgument("atom " + a.ToString() + " has arity " +
+                                     std::to_string(a.args.size()) +
+                                     " but relation arity is " +
+                                     std::to_string(rel->arity()));
+    }
+    ResolvedAtom ra;
+    ra.negated = a.negated;
+    for (size_t r = 0; r < rel->NumTuples(); ++r) {
+      ra.tuples.insert(rel->Row(r).ToTuple());
+    }
+    for (const Term& t : a.args) {
+      ra.slots.push_back(t.is_var()
+                             ? static_cast<int64_t>(var_index.at(t.var))
+                             : -(t.constant + 1));
+    }
+    atoms.push_back(std::move(ra));
+  }
+  std::vector<std::pair<size_t, size_t>> comps;  // (lhs idx, rhs idx)
+  for (const Comparison& c : q.comparisons()) {
+    comps.push_back({var_index.at(c.lhs), var_index.at(c.rhs)});
+  }
+
+  Relation out(q.name(), q.head().size());
+  std::vector<size_t> head_idx;
+  for (const std::string& h : q.head()) head_idx.push_back(var_index.at(h));
+
+  Tuple assign(vars.size(), 0);
+  Tuple probe;
+  Tuple answer(head_idx.size());
+  for (size_t n = 0; n < total; ++n) {
+    // Decode the n-th assignment (odometer in base `domain`).
+    size_t rem = n;
+    for (size_t i = 0; i < assign.size(); ++i) {
+      assign[i] = static_cast<Value>(rem % static_cast<size_t>(domain));
+      rem /= static_cast<size_t>(domain);
+    }
+    bool sat = true;
+    for (const ResolvedAtom& ra : atoms) {
+      probe.clear();
+      for (int64_t s : ra.slots) {
+        probe.push_back(s >= 0 ? assign[static_cast<size_t>(s)] : -(s + 1));
+      }
+      const bool present = ra.tuples.count(probe) > 0;
+      if (present == ra.negated) {
+        sat = false;
+        break;
+      }
+    }
+    if (!sat) continue;
+    for (size_t c = 0; c < comps.size() && sat; ++c) {
+      sat = q.comparisons()[c].Holds(assign[comps[c].first],
+                                     assign[comps[c].second]);
+    }
+    if (!sat) continue;
+    if (head_idx.empty()) {
+      out.AddNullary();
+    } else {
+      for (size_t i = 0; i < head_idx.size(); ++i) {
+        answer[i] = assign[head_idx[i]];
+      }
+      out.Add(answer);
+    }
+  }
+  out.SortDedup();
+  return out;
+}
+
+Result<Relation> ReferenceEvaluateUnion(const UnionQuery& u,
+                                        const Database& db,
+                                        size_t assignment_limit) {
+  FGQ_RETURN_NOT_OK(u.Validate());
+  Relation out(u.name, u.arity());
+  for (const ConjunctiveQuery& q : u.disjuncts) {
+    FGQ_ASSIGN_OR_RETURN(Relation part,
+                         ReferenceEvaluate(q, db, assignment_limit));
+    out.AppendFrom(part);
+  }
+  out.SortDedup();
+  return out;
+}
+
+}  // namespace fgq

@@ -1,0 +1,44 @@
+#ifndef FGQ_CHECK_REFERENCE_H_
+#define FGQ_CHECK_REFERENCE_H_
+
+#include "fgq/db/database.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/status.h"
+
+/// \file reference.h
+/// The obviously-correct reference semantics.
+///
+/// ReferenceEvaluate enumerates *every* assignment of the query's
+/// variables over [0, db.DomainSize()) and keeps the ones under which all
+/// positive atoms hold, no negated atom holds, and every comparison is
+/// satisfied — a direct transcription of the satisfaction relation in
+/// Section 2 of the paper, with no indexes, no join ordering, no
+/// reduction, and therefore no room for the bugs the optimized paths can
+/// have. The cost is Theta(domain^variables); the fuzzer sizes its inputs
+/// so this stays feasible, and the evaluator refuses (Unsupported) rather
+/// than run past its assignment budget, so a misconfigured run can never
+/// silently "check" anything it did not fully enumerate.
+///
+/// Every optimized path in the library — the Engine dispatch targets, the
+/// three enumerators, the counting DP, the serving layer — is diffed
+/// against this function by fgq/check/differ.h.
+
+namespace fgq {
+
+/// phi(D) by exhaustive assignment enumeration. Answers are sorted and
+/// deduplicated (set semantics, matching every other evaluator). Fails
+/// with Unsupported when domain^|Variables()| exceeds `assignment_limit`,
+/// and NotFound when an atom references a missing relation.
+Result<Relation> ReferenceEvaluate(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   size_t assignment_limit = 4'000'000);
+
+/// Union semantics: the sorted, deduplicated union of the disjuncts'
+/// reference answers (all disjuncts share one head arity).
+Result<Relation> ReferenceEvaluateUnion(const UnionQuery& u,
+                                        const Database& db,
+                                        size_t assignment_limit = 4'000'000);
+
+}  // namespace fgq
+
+#endif  // FGQ_CHECK_REFERENCE_H_

@@ -1,0 +1,164 @@
+#include "fgq/check/regress.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "fgq/query/parser.h"
+
+namespace fgq {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Result<Value> ParseValue(const std::string& tok, size_t line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno == ERANGE || end != tok.c_str() + tok.size() || tok.empty()) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": bad integer '" + tok + "'");
+  }
+  return static_cast<Value>(v);
+}
+
+}  // namespace
+
+Result<RegressionCase> LoadRegressionCase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  RegressionCase out;
+  out.name = std::filesystem::path(path).stem().string();
+
+  Relation* current = nullptr;  // Relation whose tuple lines we are in.
+  Value declared_domain = -1;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+
+    if (t.rfind("domain ", 0) == 0) {
+      FGQ_ASSIGN_OR_RETURN(declared_domain, ParseValue(t.substr(7), line_no));
+      current = nullptr;
+      continue;
+    }
+    if (t.rfind("query ", 0) == 0) {
+      FGQ_ASSIGN_OR_RETURN(ConjunctiveQuery q,
+                           ParseConjunctiveQuery(t.substr(6)));
+      if (out.query.disjuncts.empty()) out.query.name = q.name();
+      out.query.disjuncts.push_back(std::move(q));
+      current = nullptr;
+      continue;
+    }
+    if (t.rfind("rel ", 0) == 0) {
+      std::istringstream hdr(t.substr(4));
+      std::string name;
+      size_t arity = 0;
+      if (!(hdr >> name >> arity)) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": expected 'rel NAME ARITY'");
+      }
+      if (out.db.Has(name)) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": duplicate relation " + name);
+      }
+      out.db.PutRelation(Relation(name, arity));
+      FGQ_ASSIGN_OR_RETURN(Relation * rel, out.db.FindMutable(name));
+      current = rel;
+      continue;
+    }
+
+    // A tuple line of the current relation.
+    if (current == nullptr) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": tuple outside any 'rel' block: " + t);
+    }
+    if (t == "()") {
+      if (current->arity() != 0) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": '()' marker in arity-" +
+            std::to_string(current->arity()) + " relation " +
+            current->name());
+      }
+      current->AddNullary();
+      continue;
+    }
+    std::istringstream row(t);
+    Tuple tuple;
+    std::string tok;
+    while (row >> tok) {
+      FGQ_ASSIGN_OR_RETURN(Value v, ParseValue(tok, line_no));
+      tuple.push_back(v);
+    }
+    if (tuple.size() != current->arity()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": tuple of arity " +
+          std::to_string(tuple.size()) + " in arity-" +
+          std::to_string(current->arity()) + " relation " + current->name());
+    }
+    current->Add(tuple);
+  }
+
+  if (out.query.disjuncts.empty()) {
+    return Status::ParseError(path + ": no 'query' line");
+  }
+  if (declared_domain >= 0) out.db.DeclareDomainSize(declared_domain);
+  FGQ_RETURN_NOT_OK(out.query.Validate());
+  return out;
+}
+
+Status WriteRegressionCase(const std::string& path, const UnionQuery& u,
+                           const Database& db,
+                           const std::vector<std::string>& comments) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  for (const std::string& c : comments) out << "# " << c << "\n";
+  out << "domain " << db.DomainSize() << "\n";
+  for (const ConjunctiveQuery& q : u.disjuncts) {
+    out << "query " << q.ToString() << "\n";
+  }
+  for (const auto& [name, rel] : db.relations()) {
+    out << "rel " << name << " " << rel.arity() << "\n";
+    for (size_t r = 0; r < rel.NumTuples(); ++r) {
+      if (rel.arity() == 0) {
+        out << "()\n";
+        continue;
+      }
+      for (size_t c = 0; c < rel.arity(); ++c) {
+        if (c) out << " ";
+        out << rel.Row(r)[c];
+      }
+      out << "\n";
+    }
+  }
+  out.flush();
+  return out ? Status::OK()
+             : Status::InvalidArgument("short write to " + path);
+}
+
+std::vector<std::string> ListRegressionFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".fgqr") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace fgq

@@ -1,0 +1,59 @@
+#ifndef FGQ_CHECK_REGRESS_H_
+#define FGQ_CHECK_REGRESS_H_
+
+#include <string>
+#include <vector>
+
+#include "fgq/db/database.h"
+#include "fgq/query/cq.h"
+#include "fgq/util/status.h"
+
+/// \file regress.h
+/// The regression corpus: failing cases the fuzzer found, shrunk and
+/// committed to tests/regress/ so they run forever in tier-1.
+///
+/// One `.fgqr` file holds one case in a line-oriented text format (see
+/// tests/regress/README.md):
+///
+///   # free-form comment lines
+///   domain 6
+///   query Q(v0, v1) :- R0(v0, v1), R1(v1).
+///   query Q(a, b) :- S0(a, b).          (additional disjuncts, unions)
+///   rel R0 2
+///   0 1
+///   2 3
+///   rel R1 1
+///   4
+///
+/// `query` lines reuse the library's Datalog syntax (parser.h) so the
+/// files round-trip through ConjunctiveQuery::ToString, and a case can be
+/// written by hand. Arity-0 relations list one `()` line per marker.
+
+namespace fgq {
+
+/// One committed case.
+struct RegressionCase {
+  /// File stem, e.g. "ucq-dup-suppression" (used in test failure output).
+  std::string name;
+  UnionQuery query;
+  Database db;
+};
+
+/// Parses one `.fgqr` file. Fails with ParseError (malformed line),
+/// InvalidArgument (tuple/relation arity disagreement), or NotFound (file
+/// unreadable).
+Result<RegressionCase> LoadRegressionCase(const std::string& path);
+
+/// Writes a case in the format above, `comments` first (one `# ` line
+/// each). Overwrites an existing file.
+Status WriteRegressionCase(const std::string& path, const UnionQuery& u,
+                           const Database& db,
+                           const std::vector<std::string>& comments = {});
+
+/// All `*.fgqr` paths directly under `dir`, sorted by name. An absent or
+/// empty directory yields an empty list.
+std::vector<std::string> ListRegressionFiles(const std::string& dir);
+
+}  // namespace fgq
+
+#endif  // FGQ_CHECK_REGRESS_H_

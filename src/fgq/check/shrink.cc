@@ -1,0 +1,240 @@
+#include "fgq/check/shrink.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace fgq {
+
+namespace {
+
+std::set<std::string> BodyVars(const ConjunctiveQuery& q) {
+  std::set<std::string> vars;
+  for (const Atom& a : q.atoms()) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) vars.insert(t.var);
+    }
+  }
+  return vars;
+}
+
+/// After removing structure from a disjunct: drop head variables that no
+/// longer occur in the body, dedupe the head, drop comparisons over
+/// vanished variables. Returns false when the repair would change the
+/// head arity but the caller cannot allow that (multi-disjunct unions
+/// share one arity).
+bool RepairDisjunct(ConjunctiveQuery* q, bool allow_head_change) {
+  const std::set<std::string> vars = BodyVars(*q);
+  std::vector<std::string> head;
+  for (const std::string& h : q->head()) {
+    if (vars.count(h) &&
+        std::find(head.begin(), head.end(), h) == head.end()) {
+      head.push_back(h);
+    }
+  }
+  if (head.size() != q->head().size() && !allow_head_change) return false;
+  q->set_head(std::move(head));
+  auto* comps = q->mutable_comparisons();
+  comps->erase(std::remove_if(comps->begin(), comps->end(),
+                              [&](const Comparison& c) {
+                                return !vars.count(c.lhs) ||
+                                       !vars.count(c.rhs);
+                              }),
+               comps->end());
+  return true;
+}
+
+/// Renames `from` to `to` throughout one disjunct (atoms, comparisons,
+/// head). Returns false when the resulting head dedup would change the
+/// arity and that is not allowed.
+bool MergeVars(ConjunctiveQuery* q, const std::string& from,
+               const std::string& to, bool allow_head_change) {
+  for (Atom& a : *q->mutable_atoms()) {
+    for (Term& t : a.args) {
+      if (t.is_var() && t.var == from) t.var = to;
+    }
+  }
+  for (Comparison& c : *q->mutable_comparisons()) {
+    if (c.lhs == from) c.lhs = to;
+    if (c.rhs == from) c.rhs = to;
+  }
+  std::vector<std::string> head;
+  for (const std::string& h : q->head()) {
+    const std::string& renamed = (h == from) ? to : h;
+    if (std::find(head.begin(), head.end(), renamed) == head.end()) {
+      head.push_back(renamed);
+    }
+  }
+  if (head.size() != q->head().size() && !allow_head_change) return false;
+  q->set_head(std::move(head));
+  return true;
+}
+
+/// A database with only the named relations, same effective domain.
+Database KeepRelations(const Database& db, const std::set<std::string>& keep) {
+  Database out;
+  for (const auto& [name, rel] : db.relations()) {
+    if (keep.count(name)) out.PutRelation(rel);
+  }
+  out.DeclareDomainSize(db.DomainSize());
+  return out;
+}
+
+std::set<std::string> ReferencedRelations(const UnionQuery& u) {
+  std::set<std::string> refs;
+  for (const ConjunctiveQuery& q : u.disjuncts) {
+    for (const Atom& a : q.atoms()) refs.insert(a.relation);
+  }
+  return refs;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkCase(const UnionQuery& u, const Database& db,
+                        const FuzzOptions& opt, size_t max_attempts) {
+  ShrinkResult cur;
+  cur.query = u;
+  cur.db = db;
+
+  size_t attempts = 0;
+  // A candidate is accepted iff it validates and still fails the differ.
+  auto fails = [&](const UnionQuery& q, const Database& d,
+                   std::vector<std::string>* mm) {
+    if (attempts >= max_attempts) return false;
+    ++attempts;
+    if (q.disjuncts.empty() || !q.Validate().ok()) return false;
+    bool skipped = false;
+    std::vector<std::string> m = DiffCase(q, d, opt, nullptr, &skipped);
+    if (skipped || m.empty()) return false;
+    *mm = std::move(m);
+    return true;
+  };
+
+  if (!fails(cur.query, cur.db, &cur.mismatches)) {
+    // The input did not fail (or immediately exhausted the budget):
+    // nothing to shrink.
+    return cur;
+  }
+
+  bool progress = true;
+  while (progress && attempts < max_attempts) {
+    progress = false;
+    const bool single = cur.query.disjuncts.size() == 1;
+
+    // 1. Drop a whole disjunct.
+    for (size_t i = 0; !progress && cur.query.disjuncts.size() > 1 &&
+                       i < cur.query.disjuncts.size();
+         ++i) {
+      UnionQuery cand = cur.query;
+      cand.disjuncts.erase(cand.disjuncts.begin() + i);
+      std::vector<std::string> mm;
+      if (fails(cand, cur.db, &mm)) {
+        cur.query = std::move(cand);
+        cur.mismatches = std::move(mm);
+        ++cur.steps;
+        progress = true;
+      }
+    }
+
+    // 2. Drop an atom (with head/comparison repair).
+    for (size_t d = 0; !progress && d < cur.query.disjuncts.size(); ++d) {
+      const size_t num_atoms = cur.query.disjuncts[d].atoms().size();
+      for (size_t j = 0; !progress && num_atoms > 1 && j < num_atoms; ++j) {
+        UnionQuery cand = cur.query;
+        ConjunctiveQuery* cq = &cand.disjuncts[d];
+        cq->mutable_atoms()->erase(cq->mutable_atoms()->begin() + j);
+        if (!RepairDisjunct(cq, single)) continue;
+        std::vector<std::string> mm;
+        if (fails(cand, cur.db, &mm)) {
+          cur.query = std::move(cand);
+          cur.mismatches = std::move(mm);
+          ++cur.steps;
+          progress = true;
+        }
+      }
+    }
+
+    // 3. Drop a comparison.
+    for (size_t d = 0; !progress && d < cur.query.disjuncts.size(); ++d) {
+      const size_t num = cur.query.disjuncts[d].comparisons().size();
+      for (size_t j = 0; !progress && j < num; ++j) {
+        UnionQuery cand = cur.query;
+        auto* comps = cand.disjuncts[d].mutable_comparisons();
+        comps->erase(comps->begin() + j);
+        std::vector<std::string> mm;
+        if (fails(cand, cur.db, &mm)) {
+          cur.query = std::move(cand);
+          cur.mismatches = std::move(mm);
+          ++cur.steps;
+          progress = true;
+        }
+      }
+    }
+
+    // 4. Merge two variables.
+    for (size_t d = 0; !progress && d < cur.query.disjuncts.size(); ++d) {
+      const std::vector<std::string> vars =
+          cur.query.disjuncts[d].Variables();
+      for (size_t a = 0; !progress && a < vars.size(); ++a) {
+        for (size_t b = a + 1; !progress && b < vars.size(); ++b) {
+          UnionQuery cand = cur.query;
+          if (!MergeVars(&cand.disjuncts[d], vars[b], vars[a], single)) {
+            continue;
+          }
+          std::vector<std::string> mm;
+          if (fails(cand, cur.db, &mm)) {
+            cur.query = std::move(cand);
+            cur.mismatches = std::move(mm);
+            ++cur.steps;
+            progress = true;
+          }
+        }
+      }
+    }
+
+    // 5. Drop a tuple.
+    for (const auto& [name, rel] : cur.db.relations()) {
+      if (progress) break;
+      for (size_t t = rel.NumTuples(); !progress && t-- > 0;) {
+        Relation smaller(rel.name(), rel.arity());
+        for (size_t r = 0; r < rel.NumTuples(); ++r) {
+          if (r == t) continue;
+          if (rel.arity() == 0) {
+            smaller.AddNullary();
+          } else {
+            smaller.AddRow(rel.RowData(r));
+          }
+        }
+        Database cand_db = cur.db;
+        cand_db.PutRelation(std::move(smaller));
+        std::vector<std::string> mm;
+        if (fails(cur.query, cand_db, &mm)) {
+          cur.db = std::move(cand_db);
+          cur.mismatches = std::move(mm);
+          ++cur.steps;
+          progress = true;
+        }
+      }
+    }
+
+    // 6. Drop relations no atom references (free cleanup — still
+    // re-checked, since the domain or service paths could conceivably
+    // care).
+    if (!progress) {
+      const std::set<std::string> refs = ReferencedRelations(cur.query);
+      if (refs.size() < cur.db.relations().size()) {
+        Database cand_db = KeepRelations(cur.db, refs);
+        std::vector<std::string> mm;
+        if (fails(cur.query, cand_db, &mm)) {
+          cur.db = std::move(cand_db);
+          cur.mismatches = std::move(mm);
+          ++cur.steps;
+          progress = true;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace fgq

@@ -1,0 +1,45 @@
+#ifndef FGQ_CHECK_SHRINK_H_
+#define FGQ_CHECK_SHRINK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fgq/check/differ.h"
+
+/// \file shrink.h
+/// Greedy shrinking of failing differential cases.
+///
+/// A raw fuzzer counterexample carries noise: atoms, tuples and variables
+/// that have nothing to do with the disagreement. ShrinkCase repeatedly
+/// tries structure-removing transformations — drop a disjunct, drop an
+/// atom, drop a comparison, merge two variables, drop a tuple, drop an
+/// unreferenced relation — and keeps a transformation exactly when the
+/// reduced case *still fails* DiffCase. There is no semantics-preservation
+/// argument to make (and none is needed): any candidate is re-validated
+/// and re-diffed from scratch, so the only thing a kept step can do is
+/// make the repro smaller. The result is what gets written to
+/// tests/regress/ (see regress.h).
+
+namespace fgq {
+
+/// A shrunk failing case.
+struct ShrinkResult {
+  UnionQuery query;
+  Database db;
+  /// Mismatches of the final (shrunk) case — never empty when the input
+  /// case failed.
+  std::vector<std::string> mismatches;
+  /// Accepted reductions.
+  size_t steps = 0;
+};
+
+/// Greedily shrinks a failing case. `u`/`db` must fail DiffCase under
+/// `opt` (otherwise the input is returned unchanged with empty
+/// mismatches). At most `max_attempts` candidate evaluations are spent.
+ShrinkResult ShrinkCase(const UnionQuery& u, const Database& db,
+                        const FuzzOptions& opt, size_t max_attempts = 600);
+
+}  // namespace fgq
+
+#endif  // FGQ_CHECK_SHRINK_H_

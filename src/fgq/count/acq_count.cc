@@ -132,7 +132,7 @@ Result<BigInt> CountAnswers(const ConjunctiveQuery& q, const Database& db) {
   }
   // Exponential fallback: materialize with the oracle.
   FGQ_ASSIGN_OR_RETURN(Relation res, EvaluateBacktrack(q, db));
-  return BigInt(static_cast<int64_t>(res.NumTuples()));
+  return BigInt::FromUint64(res.NumTuples());
 }
 
 }  // namespace fgq

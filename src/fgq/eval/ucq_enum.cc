@@ -228,9 +228,16 @@ namespace {
 /// deduplication (amortized constant delay, Cheater's lemma style).
 class UnionEnumerator : public AnswerEnumerator {
  public:
-  explicit UnionEnumerator(
-      std::vector<std::unique_ptr<AnswerEnumerator>> parts)
-      : parts_(std::move(parts)) {}
+  /// Owns the merged base+scratch database view the per-disjunct
+  /// enumerators were built against. The current constant-delay cursors
+  /// copy everything they need into their plan, but the factory contract
+  /// ("the database must outlive the enumerator") applies to the *merged*
+  /// view, which no caller can keep alive — so the union enumerator
+  /// itself must, or any future disjunct enumerator that borrows from its
+  /// database (as the linear-delay one does) would dangle.
+  UnionEnumerator(std::vector<std::unique_ptr<AnswerEnumerator>> parts,
+                  std::unique_ptr<const Database> merged)
+      : merged_(std::move(merged)), parts_(std::move(parts)) {}
 
   bool Next(Tuple* out) override {
     while (!parts_.empty()) {
@@ -250,6 +257,8 @@ class UnionEnumerator : public AnswerEnumerator {
   }
 
  private:
+  /// Declared before parts_ so the enumerators are destroyed first.
+  std::unique_ptr<const Database> merged_;
   std::vector<std::unique_ptr<AnswerEnumerator>> parts_;
   std::unordered_set<Tuple, VecHash> seen_;
   size_t turn_ = 0;
@@ -262,19 +271,25 @@ Result<std::unique_ptr<AnswerEnumerator>> MakeUnionEnumerator(
   auto scratch = std::make_unique<Database>();
   FGQ_ASSIGN_OR_RETURN(UnionQuery extended,
                        BuildFreeConnexExtension(u, db, scratch.get()));
-  // Merge views so extended disjuncts can see the provided relations.
-  Database merged;
-  for (const auto& [name, rel] : db.relations()) merged.PutRelation(rel);
-  for (const auto& [name, rel] : scratch->relations()) merged.PutRelation(rel);
+  // Merge views so extended disjuncts can see the provided relations. The
+  // merged view lives on the heap and is handed to the UnionEnumerator:
+  // the per-disjunct enumerators are built against it, and neither `db`
+  // (which lacks the provided relations) nor any caller-visible object
+  // keeps it alive past this factory's return.
+  auto merged = std::make_unique<Database>();
+  for (const auto& [name, rel] : db.relations()) merged->PutRelation(rel);
+  for (const auto& [name, rel] : scratch->relations()) {
+    merged->PutRelation(rel);
+  }
 
   std::vector<std::unique_ptr<AnswerEnumerator>> parts;
   for (const ConjunctiveQuery& q : extended.disjuncts) {
     FGQ_ASSIGN_OR_RETURN(std::unique_ptr<AnswerEnumerator> e,
-                         MakeConstantDelayEnumerator(q, merged));
+                         MakeConstantDelayEnumerator(q, *merged));
     parts.push_back(std::move(e));
   }
   return std::unique_ptr<AnswerEnumerator>(
-      new UnionEnumerator(std::move(parts)));
+      new UnionEnumerator(std::move(parts), std::move(merged)));
 }
 
 }  // namespace fgq

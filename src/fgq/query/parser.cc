@@ -1,7 +1,9 @@
 #include "fgq/query/parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 namespace fgq {
@@ -161,9 +163,20 @@ class Cursor {
   size_t pos_ = 0;
 };
 
-Term MakeTerm(const Token& t) {
+Result<Term> MakeTerm(const Token& t) {
   if (t.kind == Tok::kNumber) {
-    return Term::Const(std::strtoll(t.text.c_str(), nullptr, 10));
+    // strtoll clamps out-of-range literals to INT64_MIN/INT64_MAX and only
+    // reports the overflow through errno; without the check, a constant
+    // like 99999999999999999999 silently becomes INT64_MAX.
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(t.text.c_str(), &end, 10);
+    if (errno == ERANGE || end != t.text.c_str() + t.text.size()) {
+      return Status::ParseError("integer literal '" + t.text +
+                                "' out of range at offset " +
+                                std::to_string(t.pos));
+    }
+    return Term::Const(v);
   }
   return Term::Var(t.text);
 }
@@ -179,7 +192,8 @@ Result<Atom> ParseAtomBody(Cursor* cur, const std::string& rel) {
         return Status::ParseError("expected term at offset " +
                                   std::to_string(t.pos));
       }
-      a.args.push_back(MakeTerm(cur->Next()));
+      FGQ_ASSIGN_OR_RETURN(Term term, MakeTerm(cur->Next()));
+      a.args.push_back(std::move(term));
       if (cur->Accept(Tok::kRParen)) break;
       FGQ_RETURN_NOT_OK(cur->Expect(Tok::kComma, "','"));
     }
@@ -346,14 +360,14 @@ class FoParser {
       return FoFormula::MakeAtom(a.relation, a.args,
                                  so_vars_.count(a.relation) > 0);
     }
-    Term lhs = MakeTerm(first);
+    FGQ_ASSIGN_OR_RETURN(Term lhs, MakeTerm(first));
     const Token& op = cur_->Next();
     const Token& rhs_tok = cur_->Peek();
     if (rhs_tok.kind != Tok::kIdent && rhs_tok.kind != Tok::kNumber) {
       return Status::ParseError("expected term at offset " +
                                 std::to_string(rhs_tok.pos));
     }
-    Term rhs = MakeTerm(cur_->Next());
+    FGQ_ASSIGN_OR_RETURN(Term rhs, MakeTerm(cur_->Next()));
     switch (op.kind) {
       case Tok::kEquals:
         return FoFormula::MakeEquals(lhs, rhs);

@@ -115,6 +115,12 @@ void QueryService::CancelAll() {
 }
 
 void QueryService::Stop() {
+  // Serialize the whole shutdown sequence: without stop_mu_, a second
+  // concurrent Stop() (e.g. an explicit Stop() racing the destructor)
+  // passes the guard below while the first caller is still joining, and
+  // both then walk workers_ outside mu_ — a double join. The late caller
+  // blocks here until the first finishes, then sees workers_ empty.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
   std::deque<std::unique_ptr<Pending>> orphans;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -251,15 +257,14 @@ ServiceResponse QueryService::Process(Pending& p) {
         if (p.cancel.cancelled()) {
           resp.status = p.cancel.Check("answer counting");
         } else {
-          resp.count = BigInt(static_cast<int64_t>(n));
+          resp.count = BigInt::FromUint64(n);
         }
       }
     } else if (cached->answers) {
       if (p.req.verb == ServeVerb::kRows) {
         resp.answers = cached->answers;
       } else {
-        resp.count =
-            BigInt(static_cast<int64_t>(cached->answers->NumTuples()));
+        resp.count = BigInt::FromUint64(cached->answers->NumTuples());
       }
     }
   }

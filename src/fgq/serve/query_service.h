@@ -166,6 +166,9 @@ class QueryService {
   PlanCache cache_;
   MetricsRegistry metrics_;
 
+  /// Serializes Stop(): held for the entire shutdown (including the
+  /// joins, which must happen outside mu_). Always acquired before mu_.
+  std::mutex stop_mu_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // Workers: work available / stop.
   std::condition_variable space_cv_;  // Submitters: queue has room.

@@ -18,6 +18,14 @@ BigInt::BigInt(int64_t v) {
   if (u >> 32) mag_.push_back(static_cast<uint32_t>(u >> 32));
 }
 
+BigInt BigInt::FromUint64(uint64_t v) {
+  BigInt r;
+  if (v == 0) return r;
+  r.mag_.push_back(static_cast<uint32_t>(v));
+  if (v >> 32) r.mag_.push_back(static_cast<uint32_t>(v >> 32));
+  return r;
+}
+
 BigInt BigInt::Pow2(uint64_t e) {
   BigInt r;
   r.mag_.assign(e / 32 + 1, 0);

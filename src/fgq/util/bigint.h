@@ -26,6 +26,11 @@ class BigInt {
   /// From a machine integer.
   BigInt(int64_t v);  // NOLINT(runtime/explicit): numeric literal ergonomics.
 
+  /// From an unsigned machine integer. A plain uint64_t cannot go through
+  /// the int64_t constructor: values above 2^63 - 1 would wrap negative
+  /// (this is how answer counts used to truncate in the serving layer).
+  static BigInt FromUint64(uint64_t v);
+
   /// 2^e.
   static BigInt Pow2(uint64_t e);
   /// base^e by square-and-multiply.

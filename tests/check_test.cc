@@ -1,0 +1,265 @@
+// Tests for the differential-testing subsystem (src/fgq/check/): generator
+// class targeting and determinism, the brute-force reference, the seed-range
+// runner (zero mismatches expected), the regression file format, and the
+// committed corpus replay. FGQ_REGRESS_DIR points at tests/regress in the
+// source tree.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fgq/check/check.h"
+#include "fgq/check/differ.h"
+#include "fgq/check/gen.h"
+#include "fgq/check/reference.h"
+#include "fgq/check/regress.h"
+#include "fgq/check/shrink.h"
+#include "fgq/eval/engine.h"
+#include "fgq/query/parser.h"
+
+namespace fgq {
+namespace {
+
+FuzzOptions SmallOptions() {
+  FuzzOptions opt;
+  // Keep the test fast under TSan: smaller service footprint, fewer
+  // parallel threads.
+  opt.parallel_threads = 4;
+  return opt;
+}
+
+TEST(FuzzGen, DeterministicAcrossRuns) {
+  const FuzzOptions opt;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng a(seed), b(seed);
+    const ConjunctiveQuery qa =
+        GenerateFuzzQuery(FuzzClass::kGeneralAcyclic, opt, &a);
+    const ConjunctiveQuery qb =
+        GenerateFuzzQuery(FuzzClass::kGeneralAcyclic, opt, &b);
+    EXPECT_EQ(qa.ToString(), qb.ToString());
+    UnionQuery ua;
+    ua.disjuncts.push_back(qa);
+    UnionQuery ub;
+    ub.disjuncts.push_back(qb);
+    const Database da = GenerateFuzzDatabase(ua, opt, &a);
+    const Database db = GenerateFuzzDatabase(ub, opt, &b);
+    EXPECT_EQ(da.ToString(100), db.ToString(100));
+  }
+}
+
+TEST(FuzzGen, HitsTargetClass) {
+  const FuzzOptions opt;
+  const struct {
+    FuzzClass fuzz;
+    QueryClass want;
+  } kCases[] = {
+      {FuzzClass::kBooleanAcyclic, QueryClass::kBooleanAcyclic},
+      {FuzzClass::kFreeConnex, QueryClass::kFreeConnexAcyclic},
+      {FuzzClass::kGeneralAcyclic, QueryClass::kGeneralAcyclic},
+      {FuzzClass::kDisequalities, QueryClass::kAcyclicDisequalities},
+      {FuzzClass::kOrderComparisons, QueryClass::kAcyclicOrderComparisons},
+      {FuzzClass::kNegated, QueryClass::kNegated},
+      {FuzzClass::kCyclic, QueryClass::kCyclic},
+  };
+  for (const auto& c : kCases) {
+    for (uint64_t seed = 0; seed < 12; ++seed) {
+      Rng rng(seed);
+      const ConjunctiveQuery q = GenerateFuzzQuery(c.fuzz, opt, &rng);
+      EXPECT_TRUE(q.Validate().ok()) << q.ToString();
+      EXPECT_EQ(Engine::Classify(q), c.want)
+          << FuzzClassName(c.fuzz) << " seed " << seed << ": "
+          << q.ToString();
+    }
+  }
+}
+
+TEST(FuzzGen, UnionSharesHeadArity) {
+  const FuzzOptions opt;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed);
+    const UnionQuery u = GenerateFuzzUnion(opt, &rng);
+    ASSERT_GE(u.disjuncts.size(), 2u);
+    EXPECT_TRUE(u.Validate().ok()) << u.ToString();
+    for (const ConjunctiveQuery& q : u.disjuncts) {
+      EXPECT_EQ(q.arity(), u.arity());
+    }
+  }
+}
+
+TEST(FuzzClassNames, RoundTrip) {
+  for (size_t c = 0; c < kNumFuzzClasses; ++c) {
+    const FuzzClass cls = static_cast<FuzzClass>(c);
+    FuzzClass back;
+    ASSERT_TRUE(FuzzClassFromName(FuzzClassName(cls), &back));
+    EXPECT_EQ(back, cls);
+  }
+  FuzzClass ignored;
+  EXPECT_FALSE(FuzzClassFromName("no-such-class", &ignored));
+}
+
+TEST(Reference, MatchesHandComputedJoin) {
+  auto q = ParseConjunctiveQuery("Q(x, y) :- R(x, z), S(z, y).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation r("R", 2);
+  r.Add({0, 1});
+  r.Add({2, 1});
+  Relation s("S", 2);
+  s.Add({1, 3});
+  s.Add({1, 0});
+  db.PutRelation(r);
+  db.PutRelation(s);
+  auto res = ReferenceEvaluate(q.value(), db);
+  ASSERT_TRUE(res.ok());
+  Relation want("Q", 2);
+  want.Add({0, 0});
+  want.Add({0, 3});
+  want.Add({2, 0});
+  want.Add({2, 3});
+  want.SortDedup();
+  EXPECT_EQ(res.value().raw(), want.raw());
+}
+
+TEST(Reference, NegationRangesOverDeclaredDomain) {
+  auto q = ParseConjunctiveQuery("Q(x) :- R(x), not T(x).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation r("R", 1);
+  r.Add({0});
+  r.Add({1});
+  r.Add({2});
+  Relation t("T", 1);
+  t.Add({1});
+  db.PutRelation(r);
+  db.PutRelation(t);
+  db.DeclareDomainSize(5);
+  auto res = ReferenceEvaluate(q.value(), db);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().NumTuples(), 2u);
+  EXPECT_EQ(res.value().Row(0)[0], 0);
+  EXPECT_EQ(res.value().Row(1)[0], 2);
+}
+
+TEST(Reference, RefusesOverAssignmentBudget) {
+  auto q = ParseConjunctiveQuery("Q(a, b, c) :- R(a, b), S(b, c).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation r("R", 2);
+  r.Add({9, 9});
+  Relation s("S", 2);
+  s.Add({9, 9});
+  db.PutRelation(r);
+  db.PutRelation(s);
+  auto res = ReferenceEvaluate(q.value(), db, /*assignment_limit=*/10);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DifferentialRunner, SeedRangeIsClean) {
+  CheckOptions opt;
+  opt.fuzz = SmallOptions();
+  opt.num_seeds = 48;  // 6 cases per class, every class covered.
+  const CheckSummary summary = RunSeedRange(opt);
+  EXPECT_EQ(summary.cases_run, 48u);
+  EXPECT_GT(summary.paths_diffed, 48u * 4);
+  EXPECT_EQ(summary.skipped, 0u) << summary.ToString();
+  EXPECT_TRUE(summary.ok()) << summary.ToString();
+}
+
+TEST(DifferentialRunner, SingleCaseReportsPaths) {
+  const DiffReport report =
+      RunDifferentialCase(3, FuzzClass::kFreeConnex, SmallOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // Serial + parallel + count + enumerate + linear + constant delay +
+  // four service paths.
+  EXPECT_GE(report.paths_run, 8u);
+}
+
+TEST(Shrink, PassingCaseComesBackUntouched) {
+  auto q = ParseConjunctiveQuery("Q(x) :- R(x).");
+  ASSERT_TRUE(q.ok());
+  UnionQuery u;
+  u.disjuncts.push_back(q.value());
+  Database db;
+  Relation r("R", 1);
+  r.Add({0});
+  db.PutRelation(r);
+  db.DeclareDomainSize(3);
+  const ShrinkResult res = ShrinkCase(u, db, SmallOptions());
+  EXPECT_EQ(res.steps, 0u);
+  EXPECT_TRUE(res.mismatches.empty());
+  EXPECT_EQ(res.query.ToString(), u.ToString());
+}
+
+TEST(Regress, WriteLoadRoundTrip) {
+  auto parsed = ParseUnionQuery(
+      "Q(x, y) :- R(x, y), S(y), x != y. Q(a, b) :- T(a, b).");
+  ASSERT_TRUE(parsed.ok());
+  Database db;
+  Relation r("R", 2);
+  r.Add({0, 1});
+  r.Add({2, 2});
+  Relation s("S", 1);
+  s.Add({1});
+  Relation t("T", 2);
+  t.Add({3, 0});
+  db.PutRelation(r);
+  db.PutRelation(s);
+  db.PutRelation(t);
+  db.DeclareDomainSize(6);
+
+  const std::string path =
+      testing::TempDir() + "/check_test_roundtrip.fgqr";
+  ASSERT_TRUE(WriteRegressionCase(path, parsed.value(), db,
+                                  {"round-trip test"})
+                  .ok());
+  auto loaded = LoadRegressionCase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().query.ToString(), parsed.value().ToString());
+  EXPECT_EQ(loaded.value().db.DomainSize(), 6);
+  EXPECT_EQ(loaded.value().db.ToString(100), db.ToString(100));
+
+  // The round-tripped case diffs clean, too.
+  const std::vector<std::string> mm =
+      DiffCase(loaded.value().query, loaded.value().db, SmallOptions());
+  EXPECT_TRUE(mm.empty()) << mm.front();
+}
+
+TEST(Regress, RejectsArityMismatch) {
+  const std::string path = testing::TempDir() + "/check_test_bad.fgqr";
+  {
+    std::vector<std::string> none;
+    auto q = ParseConjunctiveQuery("Q(x) :- R(x).");
+    ASSERT_TRUE(q.ok());
+    UnionQuery u;
+    u.disjuncts.push_back(q.value());
+    Database db;
+    Relation r("R", 1);
+    r.Add({0});
+    db.PutRelation(r);
+    ASSERT_TRUE(WriteRegressionCase(path, u, db, none).ok());
+  }
+  // Corrupt: append a two-column tuple to the arity-1 relation.
+  {
+    FILE* f = fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    fputs("1 2\n", f);
+    fclose(f);
+  }
+  auto loaded = LoadRegressionCase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Regress, CommittedCorpusReplaysClean) {
+  const std::vector<std::string> files = ListRegressionFiles(FGQ_REGRESS_DIR);
+  ASSERT_FALSE(files.empty()) << "no corpus at " << FGQ_REGRESS_DIR;
+  std::string report;
+  const Status st = ReplayRegressionDir(FGQ_REGRESS_DIR, SmallOptions(),
+                                        &report);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace fgq

@@ -322,6 +322,52 @@ TEST(UnionEnum, ProvidesVariablesOnEquation1) {
   EXPECT_FALSE(h.empty());
 }
 
+TEST(UnionEnum, RepairedUnionOutlivesFactoryScratch) {
+  // The first disjunct is not free-connex; the factory repairs it with a
+  // provided atom materialized into a factory-local scratch database and
+  // builds every disjunct enumerator against a factory-local merged view.
+  // Draining only after the factory has returned (under ASan in CI) pins
+  // the ownership contract: the union enumerator itself must keep the
+  // merged view alive, since no caller can.
+  auto u = ParseUnionQuery(
+      "Q(x, y, w) :- R1(x, z), R2(z, y), R3(x, w).\n"
+      "Q(x, y, w) :- R1(x, y), R2(y, w).");
+  ASSERT_TRUE(u.ok());
+  Database db;
+  Relation r1("R1", 2);
+  r1.Add({0, 1});
+  r1.Add({1, 2});
+  Relation r2("R2", 2);
+  r2.Add({1, 3});
+  r2.Add({2, 0});
+  Relation r3("R3", 2);
+  r3.Add({0, 4});
+  r3.Add({1, 4});
+  db.PutRelation(r1);
+  db.PutRelation(r2);
+  db.PutRelation(r3);
+
+  std::unique_ptr<AnswerEnumerator> e;
+  {
+    auto made = MakeUnionEnumerator(*u, db);
+    ASSERT_TRUE(made.ok()) << made.status();
+    e = std::move(made.value());
+  }
+
+  Relation want("Q", 3);
+  for (const ConjunctiveQuery& q : u->disjuncts) {
+    auto r = EvaluateBacktrack(q, db);
+    ASSERT_TRUE(r.ok()) << r.status();
+    want.AppendFrom(*r);
+  }
+  want.SortDedup();
+
+  Relation got = DrainEnumerator(e.get(), "Q", 3);
+  got.SortDedup();
+  EXPECT_GT(got.NumTuples(), 0u);
+  EXPECT_EQ(got.raw(), want.raw());
+}
+
 TEST(UnionEnum, IrreparableUnionFails) {
   // Two copies of the matrix query over disjoint relations: nothing
   // provides the missing variables.

@@ -64,6 +64,37 @@ TEST(ParserCq, RejectsComparisonOnUnboundVar) {
   EXPECT_FALSE(ParseConjunctiveQuery("Q(x) :- R(x, y), x != w.").ok());
 }
 
+TEST(ParserCq, RejectsOutOfRangeIntegerLiteral) {
+  // strtoll clamps an overflowing literal to INT64_MAX/INT64_MIN and only
+  // signals through errno; without the range check the constant below
+  // silently parsed as 9223372036854775807.
+  auto r = ParseConjunctiveQuery("Q(x) :- R(x, 99999999999999999999).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos)
+      << r.status();
+  EXPECT_FALSE(
+      ParseConjunctiveQuery("Q(x) :- R(x, -99999999999999999999).").ok());
+
+  // The representable extremes still parse.
+  auto max = ParseConjunctiveQuery("Q(x) :- R(x, 9223372036854775807).");
+  ASSERT_TRUE(max.ok()) << max.status();
+  EXPECT_EQ(max->atoms()[0].args[1].constant, INT64_MAX);
+  auto min = ParseConjunctiveQuery("Q(x) :- R(x, -9223372036854775808).");
+  ASSERT_TRUE(min.ok()) << min.status();
+  EXPECT_EQ(min->atoms()[0].args[1].constant, INT64_MIN);
+}
+
+TEST(ParserFo, RejectsOutOfRangeIntegerLiteral) {
+  // Both places FO formulas hold integer terms: atom arguments and
+  // comparison operands.
+  EXPECT_FALSE(ParseFoFormula("A(x, 99999999999999999999)").ok());
+  EXPECT_FALSE(ParseFoFormula("x = 99999999999999999999").ok());
+  EXPECT_FALSE(ParseFoFormula("18446744073709551616 < x").ok());
+  auto ok = ParseFoFormula("A(x, 9223372036854775807) & x = -5");
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
 TEST(ParserCq, ToStringRoundTrips) {
   std::string text = "Q(x, y) :- R(x, z), not T(z), S(z, y), x != y.";
   auto q1 = ParseConjunctiveQuery(text);

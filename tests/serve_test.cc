@@ -4,6 +4,7 @@
 #include <future>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fgq/query/parser.h"
@@ -390,6 +391,37 @@ TEST(QueryService, MetricsCountersMatchIssuedRequests) {
   EXPECT_NE(dump.find("counter serve.requests 7"), std::string::npos) << dump;
   EXPECT_NE(dump.find("histogram serve.exec_us"), std::string::npos);
   EXPECT_NE(dump.find("cache size="), std::string::npos);
+}
+
+TEST(QueryService, ConcurrentStopIsSerialized) {
+  // Regression: two threads racing into Stop() both used to pass the
+  // "already stopped" guard (stopping_ was set but workers_ not yet
+  // cleared) and then join the same std::thread objects concurrently —
+  // a double join and a data race on workers_. Stop() now serializes the
+  // whole shutdown; under TSan this test fails on the old code.
+  for (int round = 0; round < 8; ++round) {
+    Database db = TinyGraph();
+    ServiceOptions opts;
+    opts.num_workers = 3;
+    QueryService service(&db, opts);
+    // Keep workers busy so Stop() has in-flight work to wait for.
+    std::vector<std::future<ServiceResponse>> pending;
+    for (int i = 0; i < 6; ++i) {
+      ServiceRequest req;
+      req.query = Q("A(x, y) :- E(x, z), E(z, y).");
+      pending.push_back(service.Submit(std::move(req)));
+    }
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&service] { service.Stop(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+    for (auto& f : pending) {
+      // Completed or cancelled — either way the future must resolve.
+      f.get();
+    }
+    service.Stop();  // Still idempotent after the concurrent shutdown.
+  }
 }
 
 TEST(QueryService, DatabaseVersionBumpsOnMutation) {

@@ -85,6 +85,21 @@ TEST(BigInt, Int64Extremes) {
   EXPECT_EQ(BigInt(INT64_MAX).ToInt64(), INT64_MAX);
 }
 
+TEST(BigInt, FromUint64CoversTheFullUnsignedRange) {
+  EXPECT_TRUE(BigInt::FromUint64(0).is_zero());
+  EXPECT_EQ(BigInt::FromUint64(123), BigInt(123));
+  EXPECT_EQ(BigInt::FromUint64(uint64_t{INT64_MAX}), BigInt(INT64_MAX));
+  // Above 2^63 - 1, routing through the int64_t constructor would wrap
+  // negative — this is how answer counts used to truncate in the serving
+  // layer.
+  EXPECT_EQ(BigInt::FromUint64(uint64_t{1} << 63).ToString(),
+            "9223372036854775808");
+  EXPECT_EQ(BigInt::FromUint64(UINT64_MAX).ToString(),
+            "18446744073709551615");
+  EXPECT_EQ(BigInt::FromUint64(UINT64_MAX) + BigInt(1),
+            BigInt::Pow2(64));
+}
+
 TEST(BigInt, Pow2) {
   EXPECT_EQ(BigInt::Pow2(0).ToString(), "1");
   EXPECT_EQ(BigInt::Pow2(10).ToString(), "1024");
