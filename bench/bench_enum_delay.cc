@@ -1,5 +1,7 @@
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "fgq/eval/enumerate.h"
 #include "fgq/eval/yannakakis.h"
 #include "fgq/util/delay_recorder.h"
@@ -156,3 +158,4 @@ BENCHMARK(BM_ConstantDelayPreprocessing)
 }  // namespace
 }  // namespace fgq
 
+FGQ_BENCH_JSON_MAIN()

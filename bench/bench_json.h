@@ -1,0 +1,133 @@
+#ifndef FGQ_BENCH_BENCH_JSON_H_
+#define FGQ_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file bench_json.h
+/// Machine-readable output for the perf-tracked bench binaries.
+///
+/// Replaces benchmark_main for binaries whose numbers are recorded in the
+/// repo (BENCH_PR4.json, EXPERIMENTS.md): the usual console table still
+/// prints, and every per-iteration run is additionally written as one
+/// compact JSON object — name, ns/op (real and cpu), iterations, and all
+/// user counters (items_per_second, delay percentiles, ...). The flat
+/// schema stays diffable across runs, which is the point: a perf baseline
+/// is only a baseline if two snapshots can be compared mechanically.
+///
+/// Usage: `#include "bench_json.h"` and end the file with
+/// FGQ_BENCH_JSON_MAIN(). The JSON path comes from --json=PATH or the
+/// FGQ_BENCH_JSON environment variable; without either, the binary
+/// behaves exactly like a benchmark_main one.
+
+namespace fgq {
+namespace benchjson {
+
+struct Entry {
+  std::string name;
+  double real_ns = 0;
+  double cpu_ns = 0;
+  int64_t iterations = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Console reporter that also collects each per-iteration run (aggregates
+/// like BigO/RMS rows are skipped — they have no ns/op).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      Entry e;
+      e.name = r.benchmark_name();
+      const double iters =
+          r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      e.real_ns = r.real_accumulated_time * 1e9 / iters;
+      e.cpu_ns = r.cpu_accumulated_time * 1e9 / iters;
+      e.iterations = r.iterations;
+      for (const auto& [k, v] : r.counters) {
+        e.counters.emplace_back(k, static_cast<double>(v));
+      }
+      entries_.push_back(std::move(e));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+inline std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+inline bool WriteJson(const std::string& path, const std::string& binary,
+                      const std::vector<Entry>& entries) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"binary\": \"" << Escape(binary) << "\",\n"
+      << "  \"benchmarks\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out << "    {\"name\": \"" << Escape(e.name) << "\", \"real_ns\": "
+        << e.real_ns << ", \"cpu_ns\": " << e.cpu_ns
+        << ", \"iterations\": " << e.iterations;
+    for (const auto& [k, v] : e.counters) {
+      out << ", \"" << Escape(k) << "\": " << v;
+    }
+    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+inline int Main(int argc, char** argv) {
+  std::string json_path;
+  if (const char* env = std::getenv("FGQ_BENCH_JSON")) json_path = env;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strncmp(*it, "--json=", 7) == 0) {
+      json_path = *it + 7;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !WriteJson(json_path, args.empty() ? "" : args[0],
+                 reporter.entries())) {
+    std::fprintf(stderr, "bench_json: cannot write '%s'\n",
+                 json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace benchjson
+}  // namespace fgq
+
+#define FGQ_BENCH_JSON_MAIN()                 \
+  int main(int argc, char** argv) {           \
+    return fgq::benchjson::Main(argc, argv);  \
+  }
+
+#endif  // FGQ_BENCH_BENCH_JSON_H_

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <chrono>
 #include <future>
 #include <vector>
@@ -144,3 +146,5 @@ BENCHMARK(BM_ServeMixedThroughput)->Arg(1)->Arg(2)->Arg(4)
 
 }  // namespace
 }  // namespace fgq
+
+FGQ_BENCH_JSON_MAIN()

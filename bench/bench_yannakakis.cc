@@ -1,7 +1,11 @@
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+#include "fgq/db/index.h"
 #include "fgq/eval/oracle.h"
+#include "fgq/eval/prepared.h"
 #include "fgq/eval/yannakakis.h"
+#include "fgq/hypergraph/hypergraph.h"
 #include "fgq/workload/generators.h"
 
 /// Experiment E7 (Theorem 4.2): Yannakakis evaluates an acyclic join in
@@ -92,5 +96,84 @@ BENCHMARK(BM_FullReduce)
     ->Unit(benchmark::kMillisecond)
     ->Complexity(benchmark::oN);
 
+// ---- Data-plane kernel microbenchmarks (EXPERIMENTS.md E25) ----------------
+//
+// The two kernels every algorithm class bottoms out in: the O(N) hash-index
+// build and the semijoin sweeps of full reduction. Benchmarked at two key
+// distributions — near-unique keys and a 64-value hot set (heavy
+// duplication, the open-addressing worst case).
+
+void BM_HashIndexBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Value domain = static_cast<Value>(state.range(1));
+  Rng rng(5);
+  Relation r = RandomRelation("R", 2, n, domain, &rng);
+  r.SortDedup();
+  for (auto _ : state) {
+    HashIndex idx(r, {0});
+    benchmark::DoNotOptimize(idx.NumKeys());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(r.NumTuples()));
+  state.counters["n"] = static_cast<double>(r.NumTuples());
+  state.counters["keys"] =
+      static_cast<double>(HashIndex(r, {0}).NumKeys());
+}
+BENCHMARK(BM_HashIndexBuild)
+    ->ArgsProduct({{1 << 14, 1 << 17}, {64, 1 << 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Value domain = static_cast<Value>(state.range(1));
+  Rng rng(5);
+  Relation r = RandomRelation("R", 2, n, domain, &rng);
+  r.SortDedup();
+  Relation probe = RandomRelation("P", 2, n, domain, &rng);
+  HashIndex idx(r, {0});
+  const std::vector<size_t> cols = {0};
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (size_t i = 0; i < probe.NumTuples(); ++i) {
+      hits += idx.LookupRow(probe.RowData(i), cols).size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(probe.NumTuples()));
+}
+BENCHMARK(BM_HashIndexProbe)
+    ->ArgsProduct({{1 << 14, 1 << 17}, {64, 1 << 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// The two semijoin sweeps in isolation (atom preparation hoisted out);
+/// the per-iteration atom copy is a flat memcpy, identical on both sides
+/// of any data-plane change.
+void BM_SemijoinSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Database db = Figure1Database(n, static_cast<Value>(n / 4 + 4), &rng);
+  ConjunctiveQuery q = Figure1Query();
+  auto atoms = PrepareAtoms(q, db);
+  if (!atoms.ok()) {
+    state.SkipWithError(atoms.status().ToString().c_str());
+    return;
+  }
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  GyoResult gyo = GyoReduce(hg);
+  for (auto _ : state) {
+    std::vector<PreparedAtom> a = *atoms;
+    SemijoinSweepBottomUp(&a, gyo.tree);
+    SemijoinSweepTopDown(&a, gyo.tree);
+    benchmark::DoNotOptimize(a);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SemijoinSweep)
+    ->Range(1 << 12, 1 << 17)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace fgq
+
+FGQ_BENCH_JSON_MAIN()

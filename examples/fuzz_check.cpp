@@ -7,6 +7,7 @@
 //
 //   fuzz_check [--seeds=N] [--first-seed=S] [--classes=a,b,...]
 //              [--no-shrink] [--regress-dir=DIR] [--no-service]
+//              [--heavy-dup=P]
 //
 //   --seeds=N        total cases (cycling through the classes). Default 64.
 //   --first-seed=S   first seed of the range. Default 0.
@@ -14,6 +15,8 @@
 //   --no-shrink      report raw failures without shrinking.
 //   --regress-dir=D  write shrunk failures as .fgqr files under D.
 //   --no-service     skip the QueryService paths (faster under TSan).
+//   --heavy-dup=P    probability of key-collapsed (all-duplicate-key)
+//                    relations, the open-addressing worst case. Default 0.15.
 //
 // Reproduce a single failure with --seeds=1 --first-seed=S --classes=C.
 
@@ -31,6 +34,14 @@ bool ParseSize(const char* s, size_t* out) {
   const unsigned long long v = std::strtoull(s, &end, 10);
   if (end == s || *end != '\0') return false;
   *out = static_cast<size_t>(v);
+  return true;
+}
+
+bool ParseProb(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
   return true;
 }
 
@@ -74,6 +85,9 @@ int main(int argc, char** argv) {
       opt.regress_dir = value("--regress-dir=");
     } else if (arg == "--no-service") {
       opt.fuzz.include_service = false;
+    } else if (arg.rfind("--heavy-dup=", 0) == 0 &&
+               ParseProb(value("--heavy-dup="), &opt.fuzz.heavy_dup_prob)) {
+      // Parsed in place.
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;

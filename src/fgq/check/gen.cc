@@ -368,17 +368,38 @@ Database GenerateFuzzDatabase(const UnionQuery& u, const FuzzOptions& opt,
   for (const auto& [name, arity] : arities) {
     Relation rel(name, arity);
     if (!rng->Chance(opt.empty_relation_prob)) {
-      const size_t tuples = 1 + rng->Below(opt.max_tuples);
-      Tuple t(arity);
-      for (size_t i = 0; i < tuples; ++i) {
-        for (size_t c = 0; c < arity; ++c) {
-          t[c] = rng->Chance(opt.skew)
-                     ? static_cast<Value>(
-                           rng->Below(static_cast<uint64_t>(hot)))
-                     : static_cast<Value>(
-                           rng->Below(static_cast<uint64_t>(opt.domain)));
+      if (arity > 0 && rng->Chance(opt.heavy_dup_prob)) {
+        // Key-collapsed relation: one column pinned to a single value, the
+        // rest drawn from a two-value set, at full size. Any index or key
+        // set built over it degenerates to a handful of fat posting lists.
+        const size_t pinned = rng->Below(arity);
+        const Value pin =
+            static_cast<Value>(rng->Below(static_cast<uint64_t>(opt.domain)));
+        const Value tiny =
+            std::min<Value>(opt.domain, 2);
+        Tuple t(arity);
+        for (size_t i = 0; i < opt.max_tuples; ++i) {
+          for (size_t c = 0; c < arity; ++c) {
+            t[c] = c == pinned
+                       ? pin
+                       : static_cast<Value>(
+                             rng->Below(static_cast<uint64_t>(tiny)));
+          }
+          rel.Add(t);
         }
-        rel.Add(t);
+      } else {
+        const size_t tuples = 1 + rng->Below(opt.max_tuples);
+        Tuple t(arity);
+        for (size_t i = 0; i < tuples; ++i) {
+          for (size_t c = 0; c < arity; ++c) {
+            t[c] = rng->Chance(opt.skew)
+                       ? static_cast<Value>(
+                             rng->Below(static_cast<uint64_t>(hot)))
+                       : static_cast<Value>(
+                             rng->Below(static_cast<uint64_t>(opt.domain)));
+          }
+          rel.Add(t);
+        }
       }
       rel.SortDedup();
     }

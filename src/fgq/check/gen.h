@@ -67,6 +67,11 @@ struct FuzzOptions {
   double repeat_var_prob = 0.2;  ///< P(reusing a variable already in the atom).
   double self_join_prob = 0.15;  ///< P(an atom reuses an earlier relation).
   double empty_relation_prob = 0.08;  ///< P(a relation gets zero tuples).
+  /// P(a relation is generated key-collapsed: one random column pinned to
+  /// a single value and the rest drawn from a two-value set). Maximizes
+  /// duplicate keys and hash collisions — the worst case for the
+  /// open-addressing CSR index and the flat semijoin key sets.
+  double heavy_dup_prob = 0.15;
   size_t max_disjuncts = 3;      ///< Disjuncts per generated union query.
   /// Assignment budget of the reference evaluator; cases whose
   /// domain^vars exceeds it are skipped (never silently mis-checked).

@@ -1,111 +1,354 @@
 #include "fgq/db/index.h"
 
 #include <algorithm>
+#include <cassert>
+#include <numeric>
 
 namespace fgq {
 
 namespace {
 
-constexpr size_t kParallelBuildCutoff = size_t{1} << 13;
+/// Relations below this row count use a single shard; at or above it the
+/// table splits into kNumShards hash shards so the grouping and scatter
+/// phases can run one lane per shard. The choice is a pure function of the
+/// relation size — never of the thread count — so serial and parallel
+/// builds produce one layout.
+constexpr size_t kShardedBuildCutoff = size_t{1} << 13;
+constexpr size_t kNumShards = 64;
+constexpr unsigned kNumShardBits = 6;
+
+/// Also the parallel-vs-serial dispatch cutoff: below it a morsel is not
+/// worth scheduling.
+constexpr size_t kParallelBuildCutoff = kShardedBuildCutoff;
+
+size_t NextPow2(size_t x) {
+  size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+bool RowKeysEqual(const Relation& rel, const std::vector<size_t>& cols,
+                  uint32_t a, uint32_t b) {
+  const Value* ra = rel.RowData(a);
+  const Value* rb = rel.RowData(b);
+  for (size_t c : cols) {
+    if (ra[c] != rb[c]) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
 HashIndex::HashIndex(const Relation& rel, std::vector<size_t> key_cols)
-    : key_cols_(std::move(key_cols)) {
-  BuildSerial(rel);
+    : rel_(&rel), key_cols_(std::move(key_cols)) {
+  Build(rel, nullptr);
 }
 
 HashIndex::HashIndex(const Relation& rel, std::vector<size_t> key_cols,
                      const ExecContext& ctx)
-    : key_cols_(std::move(key_cols)) {
+    : rel_(&rel), key_cols_(std::move(key_cols)) {
   ThreadPool* pool = ctx.pool();
   if (pool == nullptr || pool->num_threads() <= 1 ||
       rel.NumTuples() < kParallelBuildCutoff) {
-    BuildSerial(rel);
+    Build(rel, nullptr);
   } else {
-    BuildParallel(rel, ctx);
+    Build(rel, &ctx);
   }
 }
 
-void HashIndex::BuildSerial(const Relation& rel) {
-  shards_.resize(1);
-  shard_mask_ = 0;
+void HashIndex::Build(const Relation& rel, const ExecContext* ctx) {
   const size_t n = rel.NumTuples();
-  shards_[0].reserve(n);
-  Tuple key(key_cols_.size());
-  for (size_t i = 0; i < n; ++i) {
-    const Value* row = rel.RowData(i);
-    for (size_t j = 0; j < key_cols_.size(); ++j) key[j] = row[key_cols_[j]];
-    shards_[0][key].push_back(static_cast<uint32_t>(i));
+  if (n == 0) return;
+  if (key_cols_.empty()) {
+    // Empty key: one group holding every row; no table needed.
+    num_keys_ = 1;
+    offsets_ = {0, static_cast<uint32_t>(n)};
+    group_hash_ = {kKeySeed};
+    row_ids_.resize(n);
+    std::iota(row_ids_.begin(), row_ids_.end(), 0u);
+    return;
   }
-}
 
-void HashIndex::BuildParallel(const Relation& rel, const ExecContext& ctx) {
-  ThreadPool* pool = ctx.pool();
-  const size_t n = rel.NumTuples();
-  size_t num_shards = 1;
-  while (num_shards < 4 * pool->num_threads()) num_shards <<= 1;
-  shards_.resize(num_shards);
+  const size_t num_shards = n >= kShardedBuildCutoff ? kNumShards : 1;
+  shard_bits_ = num_shards == 1 ? 0 : kNumShardBits;
   shard_mask_ = num_shards - 1;
 
-  // Phase 1: scatter row ids into (morsel, shard) buckets. Each morsel
-  // writes only its own bucket row, so no synchronization is needed.
-  const size_t grain = ctx.morsel_size();
-  const size_t num_chunks = (n + grain - 1) / grain;
-  std::vector<std::vector<std::vector<uint32_t>>> scatter(
-      num_chunks, std::vector<std::vector<uint32_t>>(num_shards));
-  pool->ParallelFor(n, grain, [&](size_t begin, size_t end) {
-    std::vector<std::vector<uint32_t>>& buckets = scatter[begin / grain];
-    Tuple key(key_cols_.size());
-    for (size_t i = begin; i < end; ++i) {
-      const Value* row = rel.RowData(i);
-      for (size_t j = 0; j < key_cols_.size(); ++j) {
-        key[j] = row[key_cols_[j]];
-      }
-      const size_t s = static_cast<size_t>(VecHash{}(key)) & shard_mask_;
-      buckets[s].push_back(static_cast<uint32_t>(i));
-    }
-  });
-
-  // Phase 2: one lane per shard merges the buckets in morsel order, so
-  // row ids stay ascending per key exactly as in the serial build.
-  pool->ParallelFor(num_shards, 1, [&](size_t sb, size_t se) {
-    Tuple key(key_cols_.size());
-    for (size_t s = sb; s < se; ++s) {
-      size_t total = 0;
-      for (size_t c = 0; c < num_chunks; ++c) total += scatter[c][s].size();
-      shards_[s].reserve(total);
-      for (size_t c = 0; c < num_chunks; ++c) {
-        for (uint32_t i : scatter[c][s]) {
-          const Value* row = rel.RowData(i);
-          for (size_t j = 0; j < key_cols_.size(); ++j) {
-            key[j] = row[key_cols_[j]];
+  if (num_shards == 1) {
+    // Small build (always serial): hash, group, and scatter fused into two
+    // row passes, writing the flat arrays directly. The staged pipeline
+    // below exists for the sharded regime; at this size its intermediate
+    // hash and shard-list arrays are most of the cost.
+    const size_t cap = NextPow2(std::max<size_t>(2, n * 2));
+    const size_t mask = cap - 1;
+    slot_group_.assign(cap, kEmptySlot);
+    std::vector<uint32_t> rep;    // First row of each group.
+    std::vector<uint32_t> count;  // Rows per group.
+    std::vector<uint32_t> row_group(n);
+    // Locals for everything the hot loop reads: the push_backs below keep
+    // the compiler from hoisting member/vector loads itself.
+    const size_t* kc = key_cols_.data();
+    const size_t nkc = key_cols_.size();
+    const Value* base = rel.RowData(0);
+    const size_t arity = rel.arity();
+    uint32_t* slots = slot_group_.data();
+    const Value* prev_row = nullptr;
+    uint32_t prev_group = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Value* row = base + i * arity;
+      // Equal key to the previous row ⇒ same group, no hash or probe. Pure
+      // short-circuit (valid for any row order), but SortDedup'ed input
+      // makes equal keys adjacent, collapsing duplicate-heavy builds to one
+      // probe per distinct key.
+      if (prev_row != nullptr) {
+        bool same = true;
+        for (size_t j = 0; j < nkc; ++j) {
+          if (row[kc[j]] != prev_row[kc[j]]) {
+            same = false;
+            break;
           }
-          shards_[s][key].push_back(i);
+        }
+        if (same) {
+          ++count[prev_group];
+          row_group[i] = prev_group;
+          prev_row = row;
+          continue;
         }
       }
+      prev_row = row;
+      uint64_t h = kKeySeed;
+      for (size_t j = 0; j < nkc; ++j) {
+        h = HashCombine(h, static_cast<uint64_t>(row[kc[j]]));
+      }
+      size_t idx = h & mask;  // shard_bits_ == 0: same slot as ProbeGather.
+      for (;;) {
+        const uint32_t g = slots[idx];
+        if (g == kEmptySlot) {
+          const uint32_t fresh = static_cast<uint32_t>(group_hash_.size());
+          slots[idx] = fresh;
+          group_hash_.push_back(h);
+          rep.push_back(static_cast<uint32_t>(i));
+          count.push_back(1);
+          row_group[i] = fresh;
+          prev_group = fresh;
+          break;
+        }
+        if (group_hash_[g] == h) {
+          const Value* grow = base + rep[g] * arity;
+          bool eq = true;
+          for (size_t j = 0; j < nkc; ++j) {
+            if (grow[kc[j]] != row[kc[j]]) {
+              eq = false;
+              break;
+            }
+          }
+          if (eq) {
+            ++count[g];
+            row_group[i] = g;
+            prev_group = g;
+            break;
+          }
+        }
+        idx = (idx + 1) & mask;
+      }
+    }
+    const size_t ng = group_hash_.size();
+    offsets_.resize(ng + 1);
+    uint32_t acc = 0;
+    for (size_t g = 0; g < ng; ++g) {
+      offsets_[g] = acc;
+      acc += count[g];
+    }
+    offsets_[ng] = acc;
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    row_ids_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      row_ids_[cursor[row_group[i]]++] = static_cast<uint32_t>(i);
+    }
+    num_keys_ = ng;
+    shards_ = {ShardMeta{0, static_cast<uint32_t>(mask), 0}};
+    return;
+  }
+
+  // Phase 0: hash every row's key columns straight out of the row-major
+  // store (morsel-parallel with a pool; the result is position-determined).
+  std::vector<uint64_t> hashes(n);
+  auto hash_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hashes[i] = HashRowKey(rel.RowData(i));
+    }
+  };
+  if (ctx != nullptr) {
+    ctx->pool()->ParallelFor(n, ctx->morsel_size(), hash_range);
+  } else {
+    hash_range(0, n);
+  }
+
+  // Phase 1: per-shard row lists in ascending row order. A parallel build
+  // scatters into per-(morsel, shard) buckets and concatenates them in
+  // morsel order, which yields exactly the serial single-pass sequences.
+  std::vector<std::vector<uint32_t>> shard_rows(num_shards);
+  if (num_shards == 1) {
+    shard_rows[0].resize(n);
+    std::iota(shard_rows[0].begin(), shard_rows[0].end(), 0u);
+  } else if (ctx == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      shard_rows[hashes[i] & shard_mask_].push_back(static_cast<uint32_t>(i));
+    }
+  } else {
+    const size_t grain = ctx->morsel_size();
+    const size_t num_chunks = (n + grain - 1) / grain;
+    std::vector<std::vector<std::vector<uint32_t>>> scatter(
+        num_chunks, std::vector<std::vector<uint32_t>>(num_shards));
+    ctx->pool()->ParallelFor(n, grain, [&](size_t begin, size_t end) {
+      std::vector<std::vector<uint32_t>>& buckets = scatter[begin / grain];
+      for (size_t i = begin; i < end; ++i) {
+        buckets[hashes[i] & shard_mask_].push_back(static_cast<uint32_t>(i));
+      }
+    });
+    ctx->pool()->ParallelFor(num_shards, 1, [&](size_t sb, size_t se) {
+      for (size_t s = sb; s < se; ++s) {
+        size_t total = 0;
+        for (size_t c = 0; c < num_chunks; ++c) total += scatter[c][s].size();
+        shard_rows[s].reserve(total);
+        for (size_t c = 0; c < num_chunks; ++c) {
+          shard_rows[s].insert(shard_rows[s].end(), scatter[c][s].begin(),
+                               scatter[c][s].end());
+        }
+      }
+    });
+  }
+
+  // Phase 2: per-shard open-addressing grouping plus a local two-pass CSR
+  // (count, then scatter via per-group cursors). One lane per shard; the
+  // layout depends only on each shard's row sequence.
+  struct ShardBuild {
+    std::vector<uint32_t> slots;     // Local group ids, kEmptySlot = free.
+    std::vector<uint64_t> ghash;     // Key hash per local group.
+    std::vector<uint32_t> goffsets;  // Local CSR offsets (+ sentinel).
+    std::vector<uint32_t> rows;      // Local CSR payload (global row ids).
+  };
+  std::vector<ShardBuild> built(num_shards);
+  auto build_shard = [&](size_t s) {
+    const std::vector<uint32_t>& rows = shard_rows[s];
+    ShardBuild& sb = built[s];
+    const size_t cap = NextPow2(std::max<size_t>(2, rows.size() * 2));
+    const size_t mask = cap - 1;
+    sb.slots.assign(cap, kEmptySlot);
+    std::vector<uint32_t> rep;    // First row of each local group.
+    std::vector<uint32_t> count;  // Rows per local group.
+    std::vector<uint32_t> row_group(rows.size());
+    // The slot table outgrows L2 on large shards, making the probe a full
+    // cache miss per row; prefetching the home slot a few rows ahead (the
+    // hashes are already materialized) hides most of that latency.
+    constexpr size_t kPrefetchDist = 8;
+    uint32_t prev_group = 0;
+    bool have_prev = false;
+    for (size_t k = 0; k < rows.size(); ++k) {
+      if (k + kPrefetchDist < rows.size()) {
+        const uint64_t ph = hashes[rows[k + kPrefetchDist]];
+        __builtin_prefetch(&sb.slots[(ph >> shard_bits_) & mask], 1);
+      }
+      const uint32_t i = rows[k];
+      const uint64_t h = hashes[i];
+      // Equal key to the previous row of this shard ⇒ same group, no probe
+      // (equal keys always land in one shard, and SortDedup'ed input makes
+      // them adjacent there).
+      if (have_prev && h == hashes[rows[k - 1]] &&
+          RowKeysEqual(rel, key_cols_, rows[k - 1], i)) {
+        ++count[prev_group];
+        row_group[k] = prev_group;
+        continue;
+      }
+      have_prev = true;
+      size_t idx = (h >> shard_bits_) & mask;
+      for (;;) {
+        const uint32_t g = sb.slots[idx];
+        if (g == kEmptySlot) {
+          const uint32_t fresh = static_cast<uint32_t>(sb.ghash.size());
+          sb.slots[idx] = fresh;
+          sb.ghash.push_back(h);
+          rep.push_back(i);
+          count.push_back(1);
+          row_group[k] = fresh;
+          prev_group = fresh;
+          break;
+        }
+        if (sb.ghash[g] == h && RowKeysEqual(rel, key_cols_, rep[g], i)) {
+          ++count[g];
+          row_group[k] = g;
+          prev_group = g;
+          break;
+        }
+        idx = (idx + 1) & mask;
+      }
+    }
+    const size_t ng = sb.ghash.size();
+    sb.goffsets.resize(ng + 1);
+    uint32_t acc = 0;
+    for (size_t g = 0; g < ng; ++g) {
+      sb.goffsets[g] = acc;
+      acc += count[g];
+    }
+    sb.goffsets[ng] = acc;
+    std::vector<uint32_t> cursor(sb.goffsets.begin(), sb.goffsets.end() - 1);
+    sb.rows.resize(rows.size());
+    for (size_t k = 0; k < rows.size(); ++k) {
+      sb.rows[cursor[row_group[k]]++] = rows[k];
+    }
+  };
+  auto for_each_shard = [&](auto&& fn) {
+    if (ctx != nullptr && num_shards > 1) {
+      ctx->pool()->ParallelFor(num_shards, 1, [&](size_t b, size_t e) {
+        for (size_t s = b; s < e; ++s) fn(s);
+      });
+    } else {
+      for (size_t s = 0; s < num_shards; ++s) fn(s);
+    }
+  };
+  for_each_shard(build_shard);
+
+  // Phase 3: stitch the shard-local arrays into the global flat layout.
+  shards_.resize(num_shards);
+  size_t total_groups = 0, total_rows = 0, total_slots = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_[s].group_base = static_cast<uint32_t>(total_groups);
+    shards_[s].slot_base = static_cast<uint32_t>(total_slots);
+    shards_[s].slot_mask = static_cast<uint32_t>(built[s].slots.size() - 1);
+    total_groups += built[s].ghash.size();
+    total_rows += built[s].rows.size();
+    total_slots += built[s].slots.size();
+  }
+  assert(total_rows == n);
+  (void)total_rows;
+  num_keys_ = total_groups;
+  offsets_.resize(total_groups + 1);
+  offsets_[total_groups] = static_cast<uint32_t>(n);
+  group_hash_.resize(total_groups);
+  row_ids_.resize(n);
+  slot_group_.resize(total_slots);
+  // Row region of each shard: groups are shard-major, so the row base of a
+  // shard is the running row total ahead of it.
+  std::vector<uint32_t> row_base(num_shards);
+  uint32_t rb = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    row_base[s] = rb;
+    rb += static_cast<uint32_t>(built[s].rows.size());
+  }
+  for_each_shard([&](size_t s) {
+    const ShardBuild& sb = built[s];
+    const uint32_t gb = shards_[s].group_base;
+    const uint32_t rbase = row_base[s];
+    for (size_t g = 0; g < sb.ghash.size(); ++g) {
+      offsets_[gb + g] = rbase + sb.goffsets[g];
+      group_hash_[gb + g] = sb.ghash[g];
+    }
+    std::copy(sb.rows.begin(), sb.rows.end(), row_ids_.begin() + rbase);
+    const uint32_t slot_base = shards_[s].slot_base;
+    for (size_t t = 0; t < sb.slots.size(); ++t) {
+      slot_group_[slot_base + t] =
+          sb.slots[t] == kEmptySlot ? kEmptySlot : gb + sb.slots[t];
     }
   });
-}
-
-const std::vector<uint32_t>& HashIndex::Lookup(const Tuple& key) const {
-  const Shard& shard =
-      shards_[static_cast<size_t>(VecHash{}(key)) & shard_mask_];
-  auto it = shard.find(key);
-  return it == shard.end() ? empty_ : it->second;
-}
-
-const std::vector<uint32_t>& HashIndex::LookupRow(
-    const Value* row, const std::vector<size_t>& probe_cols) const {
-  Tuple key(probe_cols.size());
-  for (size_t j = 0; j < probe_cols.size(); ++j) key[j] = row[probe_cols[j]];
-  return Lookup(key);
-}
-
-size_t HashIndex::NumKeys() const {
-  size_t total = 0;
-  for (const Shard& s : shards_) total += s.size();
-  return total;
 }
 
 }  // namespace fgq

@@ -2,7 +2,6 @@
 #define FGQ_DB_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "fgq/db/relation.h"
@@ -10,56 +9,164 @@
 #include "fgq/util/hash.h"
 
 /// \file index.h
-/// Hash index over a subset of a relation's columns.
+/// Flat hash index over a subset of a relation's columns.
 ///
 /// Used by semijoins, joins, and the constant-delay enumeration phase:
 /// a single O(N) build gives O(1) expected probes, which is what turns
 /// Yannakakis' passes into the linear-time preprocessing the paper's
 /// Constant-Delay_lin class requires.
 ///
-/// Internally the index is split into hash-partitioned shards. A serial
-/// build uses one shard; a parallel build (ExecContext with a pool)
-/// scatters row ids to shards morsel by morsel, then populates every
-/// shard concurrently. Because a key lives in exactly one shard and rows
-/// are inserted in ascending row order either way, the built index is
-/// identical for any thread count.
+/// Layout (everything flat, no per-key heap nodes):
+///
+///   slot_group_ : open-addressing linear-probing table of group ids,
+///                 addressed by the 64-bit key hash. Load factor <= 1/2.
+///   group_hash_ : the key hash of each group (probe short-circuit; a
+///                 full-hash match is verified against the group's first
+///                 row, so 64-bit collisions stay correct).
+///   offsets_    : CSR offsets, one entry per group plus a sentinel.
+///   row_ids_    : CSR payload, the matching row ids per group
+///                 (ascending within a group).
+///
+/// Keys are hashed directly out of the row-major Relation store; neither
+/// the build nor a probe ever materializes a Tuple. The index borrows
+/// `rel` — the relation must stay alive and unmodified while the index is
+/// in use (probes compare key columns against representative rows).
+///
+/// Large relations are hash-partitioned into a fixed number of shards; a
+/// parallel build (ExecContext with a pool) scatters rows morsel by morsel
+/// and populates every shard concurrently. The shard count depends only on
+/// the relation size — never on the thread count — and rows enter each
+/// shard in ascending row order either way, so the built arrays are
+/// bit-identical for any thread count (the determinism contract the
+/// differential fuzzer checks).
 
 namespace fgq {
 
-/// Immutable hash index mapping key-column values to the matching row ids
-/// (ascending per key).
+/// Immutable flat hash index mapping key-column values to the matching row
+/// ids (ascending per key).
 class HashIndex {
  public:
+  /// A borrowed view of one key's matching row ids, valid for the lifetime
+  /// of the index.
+  struct RowSpan {
+    const uint32_t* data = nullptr;
+    size_t count = 0;
+
+    const uint32_t* begin() const { return data; }
+    const uint32_t* end() const { return data + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    uint32_t operator[](size_t i) const { return data[i]; }
+  };
+
   /// Builds an index on `rel` keyed by `key_cols` (in that order).
   HashIndex(const Relation& rel, std::vector<size_t> key_cols);
-  /// Morsel-parallel build; equivalent to the serial one.
+  /// Morsel-parallel build; bit-identical to the serial one.
   HashIndex(const Relation& rel, std::vector<size_t> key_cols,
             const ExecContext& ctx);
 
-  /// Rows whose key columns equal `key`. The returned reference is valid
-  /// for the lifetime of the index.
-  const std::vector<uint32_t>& Lookup(const Tuple& key) const;
+  /// Rows whose key columns equal `key`.
+  RowSpan Lookup(const Tuple& key) const {
+    return ProbeGather([&](size_t j) { return key[j]; });
+  }
 
-  /// Convenience probe from a full row of another relation: extracts
-  /// `probe_cols` from `row` and looks them up.
-  const std::vector<uint32_t>& LookupRow(
-      const Value* row, const std::vector<size_t>& probe_cols) const;
+  /// Probe from `key_cols().size()` contiguous values.
+  RowSpan LookupKey(const Value* key) const {
+    return ProbeGather([&](size_t j) { return key[j]; });
+  }
+
+  /// Probe from a full row of another relation: gathers `probe_cols` from
+  /// `row` on the fly — no temporary key is built.
+  RowSpan LookupRow(const Value* row,
+                    const std::vector<size_t>& probe_cols) const {
+    return ProbeGather([&](size_t j) { return row[probe_cols[j]]; });
+  }
 
   bool ContainsKey(const Tuple& key) const { return !Lookup(key).empty(); }
 
-  size_t NumKeys() const;
+  /// Number of distinct keys; cached at build time, O(1).
+  size_t NumKeys() const { return num_keys_; }
   const std::vector<size_t>& key_cols() const { return key_cols_; }
 
+  /// Raw layout accessors, used by the determinism tests (serial and
+  /// parallel builds must produce bit-identical arrays).
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+  const std::vector<uint32_t>& row_ids() const { return row_ids_; }
+  const std::vector<uint32_t>& slots() const { return slot_group_; }
+
  private:
-  using Shard = std::unordered_map<Tuple, std::vector<uint32_t>, VecHash>;
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
 
-  void BuildSerial(const Relation& rel);
-  void BuildParallel(const Relation& rel, const ExecContext& ctx);
+  /// Slot region of one hash shard inside slot_group_.
+  struct ShardMeta {
+    uint32_t slot_base = 0;
+    uint32_t slot_mask = 0;   // Shard capacity - 1 (capacity is a power of 2).
+    uint32_t group_base = 0;  // First global group id of the shard.
+  };
 
+  void Build(const Relation& rel, const ExecContext* ctx);
+
+  /// Hashes the key columns of a stored row (no materialization).
+  uint64_t HashRowKey(const Value* row) const {
+    uint64_t h = kKeySeed;
+    for (size_t c : key_cols_) {
+      h = HashCombine(h, static_cast<uint64_t>(row[c]));
+    }
+    return h;
+  }
+
+  /// Shared probe: `key_at(j)` yields the j-th key value. Returns the CSR
+  /// span of the matching group, or an empty span.
+  template <typename KeyAt>
+  RowSpan ProbeGather(KeyAt&& key_at) const {
+    if (key_cols_.empty() || row_ids_.empty()) {
+      // Empty key: one group holding every row (empty when the relation
+      // is). The arrays are already in that trivial shape.
+      return num_keys_ == 0 ? RowSpan{}
+                            : RowSpan{row_ids_.data(), row_ids_.size()};
+    }
+    uint64_t h = kKeySeed;
+    for (size_t j = 0; j < key_cols_.size(); ++j) {
+      h = HashCombine(h, static_cast<uint64_t>(key_at(j)));
+    }
+    const ShardMeta& m = shards_[h & shard_mask_];
+    size_t idx = (h >> shard_bits_) & m.slot_mask;
+    for (;;) {
+      const uint32_t g = slot_group_[m.slot_base + idx];
+      if (g == kEmptySlot) return RowSpan{};
+      if (group_hash_[g] == h) {
+        // Verify against the group's first row (guards 64-bit collisions).
+        const Value* rep = rel_->RowData(row_ids_[offsets_[g]]);
+        bool eq = true;
+        for (size_t j = 0; j < key_cols_.size(); ++j) {
+          if (rep[key_cols_[j]] != key_at(j)) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          return RowSpan{row_ids_.data() + offsets_[g],
+                         static_cast<size_t>(offsets_[g + 1] - offsets_[g])};
+        }
+      }
+      idx = (idx + 1) & m.slot_mask;
+    }
+  }
+
+  // Seed of the key hash chain (matches HashSpan's).
+  static constexpr uint64_t kKeySeed = 0x51ed270b0a4725a3ULL;
+
+  const Relation* rel_ = nullptr;
   std::vector<size_t> key_cols_;
-  std::vector<Shard> shards_;  // Size is a power of two.
-  size_t shard_mask_ = 0;      // shards_.size() - 1.
-  std::vector<uint32_t> empty_;
+  size_t num_keys_ = 0;
+
+  std::vector<uint32_t> slot_group_;  // All shard slot regions, concatenated.
+  std::vector<uint64_t> group_hash_;  // Per group.
+  std::vector<uint32_t> offsets_;     // num_keys_ + 1 entries.
+  std::vector<uint32_t> row_ids_;     // One entry per indexed row.
+  std::vector<ShardMeta> shards_;
+  size_t shard_mask_ = 0;
+  unsigned shard_bits_ = 0;
 };
 
 }  // namespace fgq

@@ -232,6 +232,25 @@ Relation Relation::Project(const std::vector<size_t>& cols,
   return out;
 }
 
+void Relation::CompactRows(const std::vector<uint8_t>& keep) {
+  assert(keep.size() == NumTuples());
+  if (arity_ == 0) {
+    if (zero_arity_count_ > 0 && !keep[0]) zero_arity_count_ = 0;
+    return;
+  }
+  const size_t n = NumTuples();
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    if (w != i) {
+      std::copy(RowData(i), RowData(i) + arity_, data_.begin() + w * arity_);
+    }
+    ++w;
+  }
+  data_.resize(w * arity_);
+  num_tuples_ = w;
+}
+
 void Relation::Filter(const std::function<bool(TupleView)>& pred) {
   if (arity_ == 0) {
     if (zero_arity_count_ > 0 && !pred(TupleView{nullptr, 0})) {

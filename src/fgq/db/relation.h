@@ -96,6 +96,12 @@ class Relation {
   Relation Project(const std::vector<size_t>& cols, const std::string& name,
                    const ExecContext& ctx) const;
 
+  /// Keeps exactly the rows whose byte in `keep` is nonzero (one byte per
+  /// row, keep.size() == NumTuples()): a single compaction pass, used by
+  /// the selection-vector semijoin sweeps to materialize their survivors
+  /// once at the end of preprocessing.
+  void CompactRows(const std::vector<uint8_t>& keep);
+
   /// Keeps only the rows satisfying `pred`.
   void Filter(const std::function<bool(TupleView)>& pred);
   /// Parallel variant: `pred` is invoked concurrently from pool threads

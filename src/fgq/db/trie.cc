@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 
 namespace fgq {
 
@@ -10,49 +11,59 @@ Trie::Trie(const Relation& rel, std::vector<size_t> col_order) {
   const size_t depth = col_order.size();
   levels_.resize(depth);
 
-  // Materialize the reordered, sorted, deduplicated tuple list first.
-  Relation reordered = rel.Project(col_order, rel.name());
-  const size_t n = reordered.NumTuples();
+  // Single sort of a row-index array by `col_order`, straight over the
+  // row-major store — no reordered copy of the relation is materialized.
+  const size_t n = rel.NumTuples();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Value* ra = rel.RowData(a);
+    const Value* rb = rel.RowData(b);
+    for (size_t c : col_order) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    return false;
+  });
 
-  // Build levels top-down: at each level, split each parent range into runs
-  // of equal values.
-  struct Range {
-    uint32_t begin;
-    uint32_t end;
-  };
-  std::vector<Range> ranges = {{0, static_cast<uint32_t>(n)}};
-  for (size_t level = 0; level < depth; ++level) {
-    std::vector<Range> next_ranges;
-    for (const Range& r : ranges) {
-      uint32_t i = r.begin;
-      while (i < r.end) {
-        Value v = reordered.RowData(i)[level];
-        uint32_t j = i + 1;
-        while (j < r.end && reordered.RowData(j)[level] == v) ++j;
-        levels_[level].push_back(Node{v, i, j});
-        next_ranges.push_back(Range{i, j});
-        i = j;
+  // One pass over the sorted rows builds every level at once: an open-node
+  // stack holds the current path; each distinct row closes the open nodes
+  // below its divergence level (their child range ends at the next level's
+  // current size) and opens fresh ones. Duplicate rows (equal on all
+  // `col_order` columns) are skipped, so leaf k is the k-th distinct
+  // reordered tuple and leaves carry the row range [k, k+1).
+  uint32_t leaves = 0;
+  const Value* prev = nullptr;
+  for (size_t r = 0; r < n; ++r) {
+    const Value* row = rel.RowData(order[r]);
+    size_t diverge = 0;
+    if (prev != nullptr) {
+      while (diverge < depth && row[col_order[diverge]] == prev[col_order[diverge]]) {
+        ++diverge;
+      }
+      if (diverge == depth) continue;  // Duplicate tuple.
+    }
+    // Close open inner nodes from the bottom up to the divergence level.
+    if (prev != nullptr) {
+      for (size_t l = depth - 1; l-- > diverge;) {
+        levels_[l].back().end = static_cast<uint32_t>(levels_[l + 1].size());
       }
     }
-    ranges = std::move(next_ranges);
+    // Open the new path; beginning each child range at the next level's
+    // current size makes the level arrays a CSR by construction.
+    for (size_t l = diverge; l + 1 < depth; ++l) {
+      levels_[l].push_back(Node{row[col_order[l]],
+                                static_cast<uint32_t>(levels_[l + 1].size()),
+                                0});
+    }
+    levels_[depth - 1].push_back(Node{row[col_order[depth - 1]], leaves,
+                                      leaves + 1});
+    ++leaves;
+    prev = row;
   }
-
-  // Rewrite child pointers from row ranges to node ranges: nodes on level
-  // L+1 were emitted in row order, so for each level-L node we locate the
-  // node span covering its row range. Both sequences are sorted by row
-  // begin, so a single linear pass suffices.
-  for (size_t level = 0; level + 1 < depth; ++level) {
-    const std::vector<Node>& child = levels_[level + 1];
-    size_t c = 0;
-    for (Node& node : levels_[level]) {
-      while (c < child.size() && child[c].begin < node.begin) ++c;
-      uint32_t first = static_cast<uint32_t>(c);
-      size_t c2 = c;
-      while (c2 < child.size() && child[c2].begin < node.end) ++c2;
-      uint32_t last = static_cast<uint32_t>(c2);
-      node.begin = first;
-      node.end = last;
-      c = c2;
+  // Close whatever is still open after the last row.
+  if (prev != nullptr) {
+    for (size_t l = depth - 1; l-- > 0;) {
+      levels_[l].back().end = static_cast<uint32_t>(levels_[l + 1].size());
     }
   }
 }

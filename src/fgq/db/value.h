@@ -56,6 +56,13 @@ class Dictionary {
 
   size_t size() const { return strings_.size(); }
 
+  /// Pre-sizes both directions for about `n` additional strings, so bulk
+  /// loads stop rehashing the map mid-stream.
+  void Reserve(size_t n) {
+    ids_.reserve(strings_.size() + n);
+    strings_.reserve(strings_.size() + n);
+  }
+
  private:
   std::unordered_map<std::string, Value> ids_;
   std::vector<std::string> strings_;

@@ -52,7 +52,7 @@ class PlanCursorEnumerator : public AnswerEnumerator {
   explicit PlanCursorEnumerator(
       std::shared_ptr<const IndexedFreeConnexPlan> plan)
       : plan_(std::move(plan)),
-        candidates_(plan_->nodes.size(), nullptr),
+        candidates_(plan_->nodes.size()),
         pos_(plan_->nodes.size(), 0) {
     exhausted_ = plan_->empty || plan_->nodes.empty();
     if (!exhausted_) {
@@ -71,7 +71,7 @@ class PlanCursorEnumerator : public AnswerEnumerator {
       // Advance: increment from the deepest level.
       size_t level = plan_->nodes.size();
       while (level-- > 0) {
-        if (pos_[level] + 1 < candidates_[level]->size()) {
+        if (pos_[level] + 1 < candidates_[level].size()) {
           ++pos_[level];
           for (size_t j = level + 1; j < plan_->nodes.size(); ++j) {
             Refill(j);
@@ -95,18 +95,19 @@ class PlanCursorEnumerator : public AnswerEnumerator {
 
  private:
   const Value* CurrentRow(size_t node) const {
-    return plan_->nodes[node].rel.RowData((*candidates_[node])[pos_[node]]);
+    return plan_->nodes[node].rel.RowData(candidates_[node][pos_[node]]);
   }
 
-  /// Recomputes node i's candidate list from its parent's current row.
+  /// Recomputes node i's candidate span from its parent's current row.
   /// Nonempty by full reduction.
   void Refill(size_t i) {
     if (plan_->parent[i] < 0) {
-      candidates_[i] = &plan_->root_rows[i];
+      candidates_[i] = HashIndex::RowSpan{plan_->root_rows[i].data(),
+                                          plan_->root_rows[i].size()};
       return;
     }
     const Value* prow = CurrentRow(static_cast<size_t>(plan_->parent[i]));
-    candidates_[i] = &plan_->indexes[i]->LookupRow(prow, plan_->parent_cols[i]);
+    candidates_[i] = plan_->indexes[i]->LookupRow(prow, plan_->parent_cols[i]);
   }
 
   void Emit(Tuple* out) {
@@ -118,7 +119,7 @@ class PlanCursorEnumerator : public AnswerEnumerator {
   }
 
   std::shared_ptr<const IndexedFreeConnexPlan> plan_;
-  std::vector<const std::vector<uint32_t>*> candidates_;
+  std::vector<HashIndex::RowSpan> candidates_;  // Borrowed CSR spans.
   std::vector<size_t> pos_;
   bool exhausted_ = false;
   bool primed_ = false;
@@ -386,8 +387,7 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
 
   // Full reduction among the projected relations (they are individually
   // consistent with full answers but must also be pairwise consistent).
-  SemijoinSweepBottomUp(&nodes_raw, gyo.tree, ctx);
-  SemijoinSweepTopDown(&nodes_raw, gyo.tree, ctx);
+  FullReduceSweeps(&nodes_raw, gyo.tree, ctx);
   FGQ_RETURN_NOT_OK(ctx.cancel().Check("free-projection reduction"));
   for (const PreparedAtom& p : nodes_raw) {
     if (p.rel.empty()) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <optional>
-#include <unordered_set>
 
 #include "fgq/db/index.h"
 #include "fgq/util/hash.h"
@@ -145,109 +144,200 @@ Result<std::vector<PreparedAtom>> PrepareAtoms(const ConjunctiveQuery& q,
 
 namespace {
 
-/// Hash-partitioned key set used by the parallel semijoin build: keys are
-/// scattered to shards morsel by morsel, then each shard is populated by
-/// one lane. Membership is deterministic regardless of thread count.
-class ShardedKeySet {
+/// Open-addressing membership set over the key columns of a relation's
+/// rows. Each slot holds a representative row id plus its key hash; probes
+/// compare key columns directly against the stored row, so neither the
+/// build nor a probe materializes a Tuple. Membership is a pure set
+/// property — independent of insertion order — so the bitmap a semijoin
+/// derives from it is deterministic for any thread count.
+class FlatKeySet {
  public:
-  ShardedKeySet(const Relation& source, const std::vector<size_t>& cols,
-                const ExecContext& ctx) {
-    ThreadPool* pool = ctx.pool();
-    size_t num_shards = 1;
-    while (num_shards < 4 * pool->num_threads()) num_shards <<= 1;
-    mask_ = num_shards - 1;
-    shards_.resize(num_shards);
-
-    const size_t n = source.NumTuples();
-    const size_t grain = ctx.morsel_size();
-    const size_t num_chunks = (n + grain - 1) / grain;
-    std::vector<std::vector<std::vector<Tuple>>> scatter(
-        num_chunks, std::vector<std::vector<Tuple>>(num_shards));
-    pool->ParallelFor(n, grain, [&](size_t begin, size_t end) {
-      std::vector<std::vector<Tuple>>& buckets = scatter[begin / grain];
-      Tuple key(cols.size());
-      for (size_t i = begin; i < end; ++i) {
-        const Value* row = source.RowData(i);
-        for (size_t j = 0; j < cols.size(); ++j) key[j] = row[cols[j]];
-        buckets[static_cast<size_t>(VecHash{}(key)) & mask_].push_back(key);
+  /// Builds over the rows of `rel` whose byte in `alive` is nonzero
+  /// (`alive == nullptr` means every row).
+  FlatKeySet(const Relation& rel, const std::vector<size_t>& cols,
+             const std::vector<uint8_t>* alive)
+      : rel_(&rel), cols_(&cols) {
+    const size_t n = rel.NumTuples();
+    size_t cap = 2;
+    while (cap < 2 * std::max<size_t>(1, n)) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, kEmpty);
+    hashes_.resize(cap);
+    // Hash a short run of rows ahead and prefetch their home slots before
+    // probing: the table outgrows L2 quickly and the probe latency (not the
+    // hashing) dominates the build on large relations.
+    uint32_t rows[kBatch];
+    uint64_t hs[kBatch];
+    size_t i = 0;
+    while (i < n) {
+      size_t m = 0;
+      for (; i < n && m < kBatch; ++i) {
+        if (alive != nullptr && !(*alive)[i]) continue;
+        const uint64_t h = HashKeyAt(rel.RowData(i), cols);
+        Prefetch(h);
+        rows[m] = static_cast<uint32_t>(i);
+        hs[m] = h;
+        ++m;
       }
-    });
-    pool->ParallelFor(num_shards, 1, [&](size_t sb, size_t se) {
-      for (size_t s = sb; s < se; ++s) {
-        for (size_t c = 0; c < num_chunks; ++c) {
-          for (Tuple& key : scatter[c][s]) shards_[s].insert(std::move(key));
+      for (size_t j = 0; j < m; ++j) {
+        const Value* row = rel.RowData(rows[j]);
+        const uint64_t h = hs[j];
+        size_t idx = h & mask_;
+        for (;;) {
+          const uint32_t r = slots_[idx];
+          if (r == kEmpty) {
+            slots_[idx] = rows[j];
+            hashes_[idx] = h;
+            break;
+          }
+          if (hashes_[idx] == h &&
+              KeysEqual(rel.RowData(r), cols, row, cols)) {
+            break;  // Key already present.
+          }
+          idx = (idx + 1) & mask_;
         }
       }
-    });
+    }
   }
 
-  bool Contains(const Tuple& key) const {
-    return shards_[static_cast<size_t>(VecHash{}(key)) & mask_].count(key) >
-           0;
+  /// Probe batch size: long enough to cover one memory round-trip with
+  /// hashing work, short enough to live in registers/L1.
+  static constexpr size_t kBatch = 16;
+
+  static uint64_t HashKeyAt(const Value* row, const std::vector<size_t>& cols) {
+    uint64_t h = kSeed;
+    for (size_t c : cols) h = HashCombine(h, static_cast<uint64_t>(row[c]));
+    return h;
+  }
+
+  /// Pulls the home slot of hash `h` toward the cache ahead of a probe.
+  void Prefetch(uint64_t h) const {
+    const size_t idx = h & mask_;
+    __builtin_prefetch(&slots_[idx], 1);
+    __builtin_prefetch(&hashes_[idx], 1);
+  }
+
+  /// True if some inserted row agrees with `row` on the (column-wise
+  /// corresponding) probe columns.
+  bool ContainsRow(const Value* row, const std::vector<size_t>& cols) const {
+    return ContainsHashed(HashKeyAt(row, cols), row, cols);
+  }
+
+  /// ContainsRow with the key hash precomputed (the batched callers hash
+  /// ahead so they can prefetch).
+  bool ContainsHashed(uint64_t h, const Value* row,
+                      const std::vector<size_t>& cols) const {
+    size_t idx = h & mask_;
+    for (;;) {
+      const uint32_t r = slots_[idx];
+      if (r == kEmpty) return false;
+      if (hashes_[idx] == h &&
+          KeysEqual(rel_->RowData(r), *cols_, row, cols)) {
+        return true;
+      }
+      idx = (idx + 1) & mask_;
+    }
   }
 
  private:
-  std::vector<std::unordered_set<Tuple, VecHash>> shards_;
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+  static constexpr uint64_t kSeed = 0x51ed270b0a4725a3ULL;
+
+  static bool KeysEqual(const Value* a, const std::vector<size_t>& a_cols,
+                        const Value* b, const std::vector<size_t>& b_cols) {
+    for (size_t j = 0; j < a_cols.size(); ++j) {
+      if (a[a_cols[j]] != b[b_cols[j]]) return false;
+    }
+    return true;
+  }
+
+  const Relation* rel_;
+  const std::vector<size_t>* cols_;
+  std::vector<uint32_t> slots_;   // Representative row id per slot.
+  std::vector<uint64_t> hashes_;  // Key hash per occupied slot.
   size_t mask_ = 0;
 };
+
+/// One semijoin as a pure bitmap update: clears the alive byte of every
+/// `target` row whose shared-variable key has no alive counterpart in
+/// `source`. Returns the new alive count of the target.
+size_t SemijoinMark(const PreparedAtom& target, std::vector<uint8_t>* t_alive,
+                    size_t t_count, const PreparedAtom& source,
+                    const std::vector<uint8_t>* s_alive, size_t s_count,
+                    const ExecContext& ctx) {
+  std::vector<size_t> target_cols = target.SharedColumns(source);
+  if (target_cols.empty()) {
+    // No shared variables: reduction only applies when source is empty
+    // (the cross-product factor vanishes).
+    if (s_count == 0 && t_count > 0) {
+      std::fill(t_alive->begin(), t_alive->end(), 0);
+      return 0;
+    }
+    return t_count;
+  }
+  std::vector<size_t> source_cols;
+  for (size_t c : target_cols) {
+    source_cols.push_back(
+        static_cast<size_t>(source.VarIndex(target.vars[c])));
+  }
+  // The set build is a single O(|source|) pass; probes fan out per morsel
+  // (disjoint alive bytes, so the marking is race-free and deterministic).
+  FlatKeySet keys(source.rel, source_cols, s_alive);
+  const size_t nt = target.rel.NumTuples();
+  ThreadPool* pool = ctx.pool();
+  auto mark_range = [&](size_t begin, size_t end) {
+    // Same batched hash-then-prefetch-then-probe pattern as the set build;
+    // each probe otherwise eats a full cache miss on large sets.
+    constexpr size_t kBatch = 16;
+    size_t rows[kBatch];
+    uint64_t hs[kBatch];
+    size_t i = begin;
+    while (i < end) {
+      size_t m = 0;
+      for (; i < end && m < kBatch; ++i) {
+        if (!(*t_alive)[i]) continue;
+        const uint64_t h =
+            FlatKeySet::HashKeyAt(target.rel.RowData(i), target_cols);
+        keys.Prefetch(h);
+        rows[m] = i;
+        hs[m] = h;
+        ++m;
+      }
+      for (size_t j = 0; j < m; ++j) {
+        if (!keys.ContainsHashed(hs[j], target.rel.RowData(rows[j]),
+                                 target_cols)) {
+          (*t_alive)[rows[j]] = 0;
+        }
+      }
+    }
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      nt < kParallelRowCutoff) {
+    mark_range(0, nt);
+  } else {
+    pool->ParallelFor(nt, ctx.morsel_size(), mark_range);
+  }
+  size_t count = 0;
+  for (size_t i = 0; i < nt; ++i) count += (*t_alive)[i] ? 1 : 0;
+  return count;
+}
+
+/// All-alive bitmap for one prepared atom (nullary atoms count their
+/// present marker as one row).
+std::vector<uint8_t> AllAlive(const PreparedAtom& atom) {
+  return std::vector<uint8_t>(atom.rel.NumTuples(), 1);
+}
 
 }  // namespace
 
 void SemijoinReduce(PreparedAtom* target, const PreparedAtom& source,
                     const ExecContext& ctx) {
-  std::vector<size_t> target_cols = target->SharedColumns(source);
-  if (target_cols.empty()) {
-    // No shared variables: reduction only applies when source is empty
-    // (the cross-product factor vanishes).
-    if (source.rel.empty()) {
-      target->rel = Relation(target->rel.name(), target->rel.arity());
-    }
-    return;
-  }
-  std::vector<size_t> source_cols;
-  for (size_t c : target_cols) {
-    source_cols.push_back(
-        static_cast<size_t>(source.VarIndex(target->vars[c])));
-  }
-
-  ThreadPool* pool = ctx.pool();
-  const size_t ns = source.rel.NumTuples();
   const size_t nt = target->rel.NumTuples();
-  if (pool == nullptr || pool->num_threads() <= 1 ||
-      ns + nt < kParallelRowCutoff) {
-    // Serial path (identical to the historical implementation).
-    std::unordered_set<Tuple, VecHash> keys;
-    keys.reserve(ns);
-    Tuple key(source_cols.size());
-    for (size_t i = 0; i < ns; ++i) {
-      const Value* row = source.rel.RowData(i);
-      for (size_t j = 0; j < source_cols.size(); ++j) {
-        key[j] = row[source_cols[j]];
-      }
-      keys.insert(key);
-    }
-    Tuple probe(target_cols.size());
-    target->rel.Filter([&](TupleView row) {
-      for (size_t j = 0; j < target_cols.size(); ++j) {
-        probe[j] = row[target_cols[j]];
-      }
-      return keys.count(probe) > 0;
-    });
-    return;
-  }
-
-  // Parallel path: morsel-partitioned hash build, then a parallel probe.
-  ShardedKeySet keys(source.rel, source_cols, ctx);
-  target->rel.Filter(
-      [&](TupleView row) {
-        thread_local Tuple probe;
-        probe.resize(target_cols.size());
-        for (size_t j = 0; j < target_cols.size(); ++j) {
-          probe[j] = row[target_cols[j]];
-        }
-        return keys.Contains(probe);
-      },
-      ctx);
+  std::vector<uint8_t> alive = AllAlive(*target);
+  const size_t count = SemijoinMark(*target, &alive, nt, source,
+                                    /*s_alive=*/nullptr,
+                                    source.rel.NumTuples(), ctx);
+  if (count != nt) target->rel.CompactRows(alive);
 }
 
 PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
@@ -282,14 +372,11 @@ PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
 
   const size_t nl = left.rel.NumTuples();
   auto probe_range = [&](size_t begin, size_t end, Relation* sink) {
-    Tuple key(left_cols.size());
     Tuple t(keep_vars.size());
     for (size_t i = begin; i < end; ++i) {
       const Value* lrow = left.rel.RowData(i);
-      for (size_t j = 0; j < left_cols.size(); ++j) {
-        key[j] = lrow[left_cols[j]];
-      }
-      for (uint32_t ri : right_index.Lookup(key)) {
+      // Gathers the key straight out of the left row — no temporary Tuple.
+      for (uint32_t ri : right_index.LookupRow(lrow, left_cols)) {
         const Value* rrow = right.rel.RowData(ri);
         for (size_t j = 0; j < sources.size(); ++j) {
           t[j] =
@@ -397,6 +484,82 @@ void SemijoinSweepTopDown(std::vector<PreparedAtom>* atoms,
         }
       }
     });
+  }
+}
+
+void FullReduceSweeps(std::vector<PreparedAtom>* atoms, const JoinTree& tree,
+                      const ExecContext& ctx) {
+  const size_t m = atoms->size();
+  std::vector<std::vector<uint8_t>> alive(m);
+  std::vector<size_t> count(m);
+  for (size_t i = 0; i < m; ++i) {
+    alive[i] = AllAlive((*atoms)[i]);
+    count[i] = alive[i].size();
+  }
+
+  // Each semijoin of either sweep is a bitmap update; no relation is
+  // touched until the single compaction at the end.
+  auto reduce = [&](int t, int s) {
+    count[t] = SemijoinMark((*atoms)[t], &alive[t], count[t], (*atoms)[s],
+                            &alive[s], count[s], ctx);
+  };
+
+  bool tripped = false;
+  if (ctx.pool() == nullptr) {
+    for (int e : tree.BottomUpOrder()) {
+      if ((tripped = ctx.cancel().cancelled())) break;
+      const int p = tree.parent[e];
+      if (p >= 0) reduce(p, e);
+    }
+    if (!tripped) {
+      for (int e : tree.TopDownOrder()) {
+        if ((tripped = ctx.cancel().cancelled())) break;
+        for (int c : tree.children[e]) reduce(c, e);
+      }
+    }
+  } else {
+    // Level-synchronous, mirroring the materializing sweeps: parents of
+    // one tree depth run concurrently (they update disjoint bitmaps).
+    const std::vector<std::vector<int>> levels = NodesByDepth(tree);
+    auto run_level = [&](const std::vector<int>& level, bool bottom_up) {
+      std::vector<int> parents;
+      for (int e : level) {
+        if (!tree.children[e].empty()) parents.push_back(e);
+      }
+      if (parents.empty()) return;
+      ctx.pool()->ParallelFor(parents.size(), 1, [&](size_t b, size_t e_) {
+        for (size_t i = b; i < e_; ++i) {
+          const int p = parents[i];
+          for (int c : tree.children[p]) {
+            bottom_up ? reduce(p, c) : reduce(c, p);
+          }
+        }
+      });
+    };
+    for (size_t d = levels.size(); d-- > 0;) {
+      if ((tripped = ctx.cancel().cancelled())) break;
+      run_level(levels[d], /*bottom_up=*/true);
+    }
+    if (!tripped) {
+      for (const std::vector<int>& level : levels) {
+        if ((tripped = ctx.cancel().cancelled())) break;
+        run_level(level, /*bottom_up=*/false);
+      }
+    }
+  }
+
+  // One compaction per atom (skipped when nothing died). On a cancel trip
+  // this materializes the partial reduction, matching the materializing
+  // sweeps' leave-partially-reduced contract.
+  auto compact = [&](size_t i) {
+    if (count[i] != alive[i].size()) (*atoms)[i].rel.CompactRows(alive[i]);
+  };
+  if (ctx.pool() != nullptr && m > 1) {
+    ctx.pool()->ParallelFor(m, 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) compact(i);
+    });
+  } else {
+    for (size_t i = 0; i < m; ++i) compact(i);
   }
 }
 

@@ -86,6 +86,16 @@ void SemijoinSweepTopDown(std::vector<PreparedAtom>* atoms,
                           const JoinTree& tree,
                           const ExecContext& ctx = ExecContext());
 
+/// Both sweeps of Yannakakis' full reduction in one call, run over
+/// per-atom selection bitmaps instead of materialized intermediates: each
+/// semijoin only flips alive bytes of the target atom, and every relation
+/// is compacted exactly once at the end. Produces the same reduced atoms
+/// as SemijoinSweepBottomUp followed by SemijoinSweepTopDown, for any
+/// thread count. Polls ctx.cancel() between nodes (levels in parallel
+/// mode) and compacts the partial reduction on a trip.
+void FullReduceSweeps(std::vector<PreparedAtom>* atoms, const JoinTree& tree,
+                      const ExecContext& ctx = ExecContext());
+
 }  // namespace fgq
 
 #endif  // FGQ_EVAL_PREPARED_H_

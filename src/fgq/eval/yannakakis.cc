@@ -27,12 +27,10 @@ Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db,
   FGQ_ASSIGN_OR_RETURN(out.atoms, PrepareAtoms(q, db, ctx));
   FGQ_RETURN_NOT_OK(ctx.cancel().Check("atom preparation"));
 
-  // Bottom-up sweep: reduce each parent by its children. Top-down sweep:
-  // reduce each child by its parent. (Level-parallel with a pool.)
-  SemijoinSweepBottomUp(&out.atoms, out.tree, ctx);
-  FGQ_RETURN_NOT_OK(ctx.cancel().Check("bottom-up semijoin sweep"));
-  SemijoinSweepTopDown(&out.atoms, out.tree, ctx);
-  FGQ_RETURN_NOT_OK(ctx.cancel().Check("top-down semijoin sweep"));
+  // Both sweeps (bottom-up then top-down, level-parallel with a pool) as
+  // bitmap updates over the prepared atoms, compacted once at the end.
+  FullReduceSweeps(&out.atoms, out.tree, ctx);
+  FGQ_RETURN_NOT_OK(ctx.cancel().Check("semijoin sweeps"));
   for (const PreparedAtom& a : out.atoms) {
     if (a.rel.empty() && a.rel.arity() > 0) {
       out.empty = true;

@@ -153,6 +153,58 @@ TEST(HashIndex, CompositeKey) {
   EXPECT_EQ(idx.Lookup({1, 3}).size(), 1u);
 }
 
+TEST(HashIndex, CollisionHeavyAllRowsOneKey) {
+  // Every row shares one key: the CSR payload degenerates to a single fat
+  // posting list; spans must still come back complete and ascending.
+  constexpr size_t kRows = 20000;  // Above the sharded-build cutoff.
+  Relation r("R", 2);
+  for (size_t i = 0; i < kRows; ++i) r.Add({7, static_cast<Value>(i)});
+  HashIndex idx(r, {0});
+  EXPECT_EQ(idx.NumKeys(), 1u);
+  HashIndex::RowSpan span = idx.Lookup({7});
+  ASSERT_EQ(span.size(), kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    EXPECT_EQ(span[i], static_cast<uint32_t>(i));
+  }
+  EXPECT_TRUE(idx.Lookup({8}).empty());
+}
+
+TEST(HashIndex, EmptyRelation) {
+  Relation r("R", 2);
+  HashIndex idx(r, {0});
+  EXPECT_EQ(idx.NumKeys(), 0u);
+  EXPECT_TRUE(idx.Lookup({1}).empty());
+  HashIndex all(r, {});
+  EXPECT_EQ(all.NumKeys(), 0u);
+  EXPECT_TRUE(all.Lookup({}).empty());
+}
+
+TEST(HashIndex, ParallelBuildBitIdenticalLayout) {
+  // The determinism contract: serial and parallel builds must produce the
+  // same flat arrays — not just the same lookup results — for any thread
+  // count. Skewed keys keep some posting lists fat.
+  constexpr size_t kRows = 40000;  // Above the parallel-build cutoff.
+  Relation r("R", 2);
+  uint64_t x = 88172645463325252ull;
+  for (size_t i = 0; i < kRows; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    r.Add({static_cast<Value>(x % 512), static_cast<Value>(i)});
+  }
+  HashIndex serial(r, {0});
+  for (int threads : {1, 2, 8}) {
+    ExecOptions opts;
+    opts.num_threads = threads;
+    ExecContext ctx(opts);
+    HashIndex par(r, {0}, ctx);
+    EXPECT_EQ(par.NumKeys(), serial.NumKeys()) << threads << " threads";
+    EXPECT_EQ(par.offsets(), serial.offsets()) << threads << " threads";
+    EXPECT_EQ(par.row_ids(), serial.row_ids()) << threads << " threads";
+    EXPECT_EQ(par.slots(), serial.slots()) << threads << " threads";
+  }
+}
+
 TEST(Trie, LevelsAndLookup) {
   Relation r("R", 2);
   r.Add({1, 10});
