@@ -6,9 +6,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "fgq/trace/trace.h"
 
 /// \file bench_json.h
 /// Machine-readable output for the perf-tracked bench binaries.
@@ -28,6 +31,33 @@
 
 namespace fgq {
 namespace benchjson {
+
+/// Folds one traced run into the benchmark's user counters, under fresh
+/// key families only (existing keys like `n`, `answers`, `*_delay_ns`
+/// stay byte-identical across the change):
+///   phase_<span>_ns   — total wall time of each span name ('.' -> '_'),
+///   trace_<counter>   — the work counters (tuples scanned/probed/emitted,
+///                       index bytes).
+/// The traced run happens *outside* the timed loop — benchmark numbers
+/// measure the untraced fast path; the phases are attribution metadata.
+inline void AddTraceCounters(benchmark::State& state,
+                             const TraceContext& trace) {
+  std::map<std::string, int64_t> phase_ns;
+  for (const TraceContext::Event& ev : trace.events()) {
+    if (ev.end_ns < 0) continue;
+    phase_ns[ev.name] += ev.DurationNs();
+  }
+  for (const auto& [name, ns] : phase_ns) {
+    std::string key = "phase_" + name + "_ns";
+    for (char& c : key) {
+      if (c == '.') c = '_';
+    }
+    state.counters[key] = static_cast<double>(ns);
+  }
+  for (const auto& [name, value] : trace.counters()) {
+    state.counters["trace_" + name] = static_cast<double>(value);
+  }
+}
 
 struct Entry {
   std::string name;

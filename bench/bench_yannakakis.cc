@@ -35,6 +35,11 @@ void BM_YannakakisPath(benchmark::State& state) {
   }
   state.counters["n"] = static_cast<double>(n);
   state.counters["answers"] = static_cast<double>(out_size);
+  // One traced run outside the timed loop: per-phase attribution
+  // (prepare / sweeps / assembly) without perturbing the measurement.
+  TraceContext trace;
+  auto traced = EvaluateYannakakis(q, db, ExecContext().WithTrace(&trace));
+  if (traced.ok()) benchjson::AddTraceCounters(state, trace);
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_YannakakisPath)
@@ -89,6 +94,9 @@ void BM_FullReduce(benchmark::State& state) {
     benchmark::DoNotOptimize(rq);
   }
   state.counters["n"] = static_cast<double>(n);
+  TraceContext trace;
+  auto traced = FullReduce(q, db, ExecContext().WithTrace(&trace));
+  if (traced.ok()) benchjson::AddTraceCounters(state, trace);
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_FullReduce)

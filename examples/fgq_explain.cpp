@@ -1,0 +1,182 @@
+// EXPLAIN over the committed regression corpus — the classifier-drift
+// guard and the Chrome-trace producer CI runs.
+//
+//   fgq_explain --corpus=tests/regress                    print explanations
+//   fgq_explain --corpus=... --golden=tests/regress/golden --update
+//                                                         (re)write goldens
+//   fgq_explain --corpus=... --golden=...                 diff against goldens
+//                                                         (exit 1 on drift)
+//   fgq_explain --corpus=... --execute --trace-out=t.json also run each case
+//                                                         traced; write one
+//                                                         merged Chrome trace
+//
+// Golden files pin Explanation::ClassificationText() — the deterministic,
+// timing-free subset (class, theorem, bound, witness). A classifier change
+// that silently reroutes a query class shows up as a golden diff here
+// before it shows up as a perf mystery in production. Regenerate with
+// --update after an *intentional* change and review the diff like any
+// other code change.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fgq/check/regress.h"
+#include "fgq/trace/explain.h"
+#include "fgq/trace/trace.h"
+
+using namespace fgq;
+
+namespace {
+
+std::string Stem(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The golden payload of one case: every disjunct's deterministic
+/// classification text, separated by a disjunct header (most corpus cases
+/// are single-disjunct; union cases explain each branch).
+std::string ExplainCase(const RegressionCase& c, bool execute,
+                        TraceContext* trace, Status* failure) {
+  std::ostringstream out;
+  Engine engine;
+  for (size_t i = 0; i < c.query.disjuncts.size(); ++i) {
+    if (c.query.disjuncts.size() > 1) out << "disjunct " << i << ":\n";
+    Result<Explanation> ex = Explain(c.query.disjuncts[i], c.db, engine);
+    if (!ex.ok()) {
+      *failure = ex.status();
+      return out.str();
+    }
+    out << ex->ClassificationText();
+    if (execute) {
+      // The traced run is for the Chrome artifact, not the golden text
+      // (timings are nondeterministic by nature). All cases share one
+      // context — one artifact, one timeline — so the evaluation runs
+      // directly under a per-case span on that context.
+      const std::string label =
+          c.name + (c.query.disjuncts.size() > 1 ? "#" + std::to_string(i)
+                                                 : "");
+      TraceSpan case_span(trace, label.c_str(), "corpus");
+      Result<QueryResult> run = engine.Execute(
+          c.query.disjuncts[i], c.db, engine.context().WithTrace(trace));
+      if (!run.ok()) {
+        *failure = run.status();
+        return out.str();
+      }
+      case_span.Arg("answers", std::to_string(run->NumAnswers()));
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus = "tests/regress";
+  std::string golden_dir;
+  std::string trace_out;
+  bool update = false;
+  bool execute = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--corpus=", 0) == 0) {
+      corpus = arg.substr(9);
+    } else if (arg.rfind("--golden=", 0) == 0) {
+      golden_dir = arg.substr(9);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+      execute = true;
+    } else if (arg == "--update") {
+      update = true;
+    } else if (arg == "--execute") {
+      execute = true;
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n"
+                << "usage: fgq_explain --corpus=DIR [--golden=DIR "
+                   "[--update]] [--execute] [--trace-out=FILE]\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::string> files = ListRegressionFiles(corpus);
+  if (files.empty()) {
+    std::cerr << "no .fgqr files under " << corpus << "\n";
+    return 2;
+  }
+
+  TraceContext trace;
+  size_t drifted = 0;
+  for (const std::string& path : files) {
+    Result<RegressionCase> c = LoadRegressionCase(path);
+    if (!c.ok()) {
+      std::cerr << path << ": " << c.status() << "\n";
+      return 2;
+    }
+    Status failure = Status::OK();
+    std::string text =
+        ExplainCase(*c, execute, execute ? &trace : nullptr, &failure);
+    if (!failure.ok()) {
+      std::cerr << c->name << ": " << failure << "\n";
+      return 2;
+    }
+
+    if (golden_dir.empty()) {
+      std::cout << "==== " << c->name << " ====\n" << text << "\n";
+      continue;
+    }
+    const std::string golden_path = golden_dir + "/" + Stem(path) + ".explain";
+    if (update) {
+      std::ofstream out(golden_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "cannot write " << golden_path << "\n";
+        return 2;
+      }
+      out << text;
+      std::cout << "wrote " << golden_path << "\n";
+      continue;
+    }
+    Result<std::string> want = ReadFile(golden_path);
+    if (!want.ok()) {
+      std::cerr << c->name << ": " << want.status()
+                << " (run with --update to create goldens)\n";
+      ++drifted;
+      continue;
+    }
+    if (*want != text) {
+      ++drifted;
+      std::cerr << "CLASSIFICATION DRIFT in " << c->name << "\n"
+                << "---- golden (" << golden_path << ") ----\n"
+                << *want << "---- current ----\n"
+                << text << "----\n";
+    } else {
+      std::cout << c->name << ": ok\n";
+    }
+  }
+
+  if (!trace_out.empty()) {
+    Status st = trace.WriteChromeTrace(trace_out);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 2;
+    }
+    std::cout << "chrome trace written to " << trace_out << "\n";
+  }
+  if (drifted > 0) {
+    std::cerr << drifted << " case(s) drifted\n";
+    return 1;
+  }
+  return 0;
+}

@@ -6,7 +6,7 @@
 // `\stats` shows the counters; `deadline` makes hopeless cyclic queries
 // fail fast instead of hanging the session.
 //
-//   ./build/examples/fgq_serve < script.txt
+//   ./build/examples/fgq_serve [--trace=out.json] < script.txt
 //
 // Commands:
 //   fact <Rel> <v1> <v2> ...   add a fact (bumps the db version,
@@ -14,10 +14,20 @@
 //   load <path>                load a fact file
 //   query <rule>               evaluate, e.g. query Q(x) :- R(x, y).
 //   count <rule>               count answers
+//   explain <rule>             classification verdict + witness + theorem
+//                              (no execution)
+//   trace <rule>               evaluate through the service with a span
+//                              trace attached; prints the per-phase
+//                              breakdown and appends the spans to the
+//                              --trace file (if given)
 //   deadline <ms>              per-request deadline for later queries
 //                              (0 = none)
 //   \stats                     dump metrics + cache occupancy
 //   help / quit
+//
+// With --trace=PATH, every `trace` request's spans are collected and the
+// merged Chrome trace_event JSON is written to PATH on exit — load it at
+// chrome://tracing or https://ui.perfetto.dev.
 
 #include <chrono>
 #include <iostream>
@@ -27,6 +37,8 @@
 #include "fgq/db/loader.h"
 #include "fgq/query/parser.h"
 #include "fgq/serve/query_service.h"
+#include "fgq/trace/explain.h"
+#include "fgq/trace/trace.h"
 
 using namespace fgq;
 
@@ -68,14 +80,38 @@ void PrintResponse(const ServiceResponse& resp, ServeVerb verb,
   if (resp.answers->NumTuples() > limit) std::cout << "    ...\n";
 }
 
+std::string Indent(const std::string& block) {
+  std::istringstream in(block);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) out << "  " << line << "\n";
+  return out.str();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else {
+      std::cerr << "unknown flag '" << arg << "' (try --trace=out.json)\n";
+      return 2;
+    }
+  }
+
   Database db;
   Dictionary dict;
   ServiceOptions opts;
   opts.num_workers = 2;
   QueryService service(&db, opts);
+  // One long-lived sink for all `trace` verbs of the session; flushed to
+  // --trace=PATH on exit. (Per-request isolation is about correctness of
+  // nesting — each request still runs under its own serve.request span.)
+  TraceContext session_trace;
+  bool traced_any = false;
   std::chrono::milliseconds deadline{0};
   std::string line;
   std::cout << "fgq serve — 'help' for commands\n";
@@ -86,7 +122,8 @@ int main() {
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       std::cout << "fact <Rel> <v>... | load <path> | query <rule> | "
-                   "count <rule> | deadline <ms> | \\stats | quit\n";
+                   "count <rule> | explain <rule> | trace <rule> | "
+                   "deadline <ms> | \\stats | quit\n";
       continue;
     }
     if (cmd == "\\stats") {
@@ -114,22 +151,51 @@ int main() {
       std::cout << "  deadline: " << deadline.count() << " ms\n";
       continue;
     }
-    if (cmd == "query" || cmd == "count") {
+    if (cmd == "explain") {
       auto q = ParseConjunctiveQuery(rest);
       if (!q.ok()) {
         std::cout << "  " << q.status() << "\n";
         continue;
       }
+      Result<Explanation> ex = Explain(*q, db);
+      if (!ex.ok()) {
+        std::cout << "  " << ex.status() << "\n";
+        continue;
+      }
+      std::cout << Indent(ex->Text());
+      continue;
+    }
+    if (cmd == "query" || cmd == "count" || cmd == "trace") {
+      auto q = ParseConjunctiveQuery(rest);
+      if (!q.ok()) {
+        std::cout << "  " << q.status() << "\n";
+        continue;
+      }
+      const bool traced = cmd == "trace";
+      const size_t trace_mark = session_trace.events().size();
       ServiceRequest req;
       req.query = std::move(q).value();
       req.verb = cmd == "count" ? ServeVerb::kCount : ServeVerb::kRows;
       req.timeout = deadline;
+      if (traced) {
+        req.trace = &session_trace;
+        traced_any = true;
+      }
       ServiceResponse resp = service.Call(std::move(req));
       PrintResponse(resp, cmd == "count" ? ServeVerb::kCount : ServeVerb::kRows,
                     dict);
+      if (traced) std::cout << Indent(session_trace.RenderText(trace_mark));
       continue;
     }
     std::cout << "  unknown command '" << cmd << "' — try 'help'\n";
+  }
+  if (!trace_path.empty() && traced_any) {
+    Status st = session_trace.WriteChromeTrace(trace_path);
+    if (st.ok()) {
+      std::cout << "trace written to " << trace_path << "\n";
+    } else {
+      std::cerr << st << "\n";
+    }
   }
   return 0;
 }

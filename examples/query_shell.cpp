@@ -13,6 +13,8 @@
 //   count <rule>                   count answers without materializing
 //   sample <rule> <k>              k uniform random answers (free-connex)
 //   classify <rule>                structural report only
+//   explain <rule>                 classification + witness + theorem,
+//                                  then a traced run with per-phase times
 //   db                             print the database
 //   help / quit
 
@@ -25,6 +27,7 @@
 #include "fgq/eval/random_access.h"
 #include "fgq/hypergraph/star_size.h"
 #include "fgq/query/parser.h"
+#include "fgq/trace/explain.h"
 
 using namespace fgq;
 
@@ -89,7 +92,8 @@ int main() {
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       std::cout << "fact <Rel> <v>... | query <rule> | count <rule> | "
-                   "sample <rule> <k> | classify <rule> | db | quit\n";
+                   "sample <rule> <k> | classify <rule> | explain <rule> | "
+                   "db | quit\n";
       continue;
     }
     if (cmd == "db") {
@@ -104,7 +108,7 @@ int main() {
       continue;
     }
     if (cmd == "query" || cmd == "count" || cmd == "classify" ||
-        cmd == "sample") {
+        cmd == "explain" || cmd == "sample") {
       size_t k = 3;
       if (cmd == "sample") {
         // Last token is the sample size.
@@ -122,6 +126,17 @@ int main() {
       }
       if (cmd == "classify") {
         Classify(*q);
+      } else if (cmd == "explain") {
+        ExplainOptions eopts;
+        eopts.execute = true;
+        Result<Explanation> ex = Explain(*q, db, engine, eopts);
+        if (!ex.ok()) {
+          std::cout << "  " << ex.status() << "\n";
+          continue;
+        }
+        std::istringstream in(ex->Text());
+        std::string out_line;
+        while (std::getline(in, out_line)) std::cout << "  " << out_line << "\n";
       } else if (cmd == "query") {
         RunQuery(engine, *q, db, dict);
       } else if (cmd == "count") {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <numeric>
 
 namespace fgq {
@@ -27,8 +28,21 @@ size_t NextPow2(size_t x) {
   return p;
 }
 
-bool RowKeysEqual(const Relation& rel, const std::vector<size_t>& cols,
-                  uint32_t a, uint32_t b) {
+/// Resets a slot table to all-empty. kEmptySlot is all-ones, so this is a
+/// plain memset; vector::assign's generic fill is a scalar store loop when
+/// the compiler declines to inline it, which dominates small builds (the
+/// table is 2x the row count).
+void ResetSlots(std::vector<uint32_t>& slots, size_t cap) {
+  slots.resize(cap);
+  std::memset(slots.data(), 0xff, cap * sizeof(uint32_t));
+}
+
+// always_inline: called from the probe loop of every sharded build; GCC's
+// unit-growth budget otherwise outlines it as the translation unit grows,
+// costing ~6% on BM_HashIndexBuild.
+__attribute__((always_inline)) inline bool RowKeysEqual(
+    const Relation& rel, const std::vector<size_t>& cols, uint32_t a,
+    uint32_t b) {
   const Value* ra = rel.RowData(a);
   const Value* rb = rel.RowData(b);
   for (size_t c : cols) {
@@ -74,98 +88,7 @@ void HashIndex::Build(const Relation& rel, const ExecContext* ctx) {
   shard_mask_ = num_shards - 1;
 
   if (num_shards == 1) {
-    // Small build (always serial): hash, group, and scatter fused into two
-    // row passes, writing the flat arrays directly. The staged pipeline
-    // below exists for the sharded regime; at this size its intermediate
-    // hash and shard-list arrays are most of the cost.
-    const size_t cap = NextPow2(std::max<size_t>(2, n * 2));
-    const size_t mask = cap - 1;
-    slot_group_.assign(cap, kEmptySlot);
-    std::vector<uint32_t> rep;    // First row of each group.
-    std::vector<uint32_t> count;  // Rows per group.
-    std::vector<uint32_t> row_group(n);
-    // Locals for everything the hot loop reads: the push_backs below keep
-    // the compiler from hoisting member/vector loads itself.
-    const size_t* kc = key_cols_.data();
-    const size_t nkc = key_cols_.size();
-    const Value* base = rel.RowData(0);
-    const size_t arity = rel.arity();
-    uint32_t* slots = slot_group_.data();
-    const Value* prev_row = nullptr;
-    uint32_t prev_group = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const Value* row = base + i * arity;
-      // Equal key to the previous row ⇒ same group, no hash or probe. Pure
-      // short-circuit (valid for any row order), but SortDedup'ed input
-      // makes equal keys adjacent, collapsing duplicate-heavy builds to one
-      // probe per distinct key.
-      if (prev_row != nullptr) {
-        bool same = true;
-        for (size_t j = 0; j < nkc; ++j) {
-          if (row[kc[j]] != prev_row[kc[j]]) {
-            same = false;
-            break;
-          }
-        }
-        if (same) {
-          ++count[prev_group];
-          row_group[i] = prev_group;
-          prev_row = row;
-          continue;
-        }
-      }
-      prev_row = row;
-      uint64_t h = kKeySeed;
-      for (size_t j = 0; j < nkc; ++j) {
-        h = HashCombine(h, static_cast<uint64_t>(row[kc[j]]));
-      }
-      size_t idx = h & mask;  // shard_bits_ == 0: same slot as ProbeGather.
-      for (;;) {
-        const uint32_t g = slots[idx];
-        if (g == kEmptySlot) {
-          const uint32_t fresh = static_cast<uint32_t>(group_hash_.size());
-          slots[idx] = fresh;
-          group_hash_.push_back(h);
-          rep.push_back(static_cast<uint32_t>(i));
-          count.push_back(1);
-          row_group[i] = fresh;
-          prev_group = fresh;
-          break;
-        }
-        if (group_hash_[g] == h) {
-          const Value* grow = base + rep[g] * arity;
-          bool eq = true;
-          for (size_t j = 0; j < nkc; ++j) {
-            if (grow[kc[j]] != row[kc[j]]) {
-              eq = false;
-              break;
-            }
-          }
-          if (eq) {
-            ++count[g];
-            row_group[i] = g;
-            prev_group = g;
-            break;
-          }
-        }
-        idx = (idx + 1) & mask;
-      }
-    }
-    const size_t ng = group_hash_.size();
-    offsets_.resize(ng + 1);
-    uint32_t acc = 0;
-    for (size_t g = 0; g < ng; ++g) {
-      offsets_[g] = acc;
-      acc += count[g];
-    }
-    offsets_[ng] = acc;
-    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    row_ids_.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      row_ids_[cursor[row_group[i]]++] = static_cast<uint32_t>(i);
-    }
-    num_keys_ = ng;
-    shards_ = {ShardMeta{0, static_cast<uint32_t>(mask), 0}};
+    BuildFused(rel);
     return;
   }
 
@@ -233,7 +156,7 @@ void HashIndex::Build(const Relation& rel, const ExecContext* ctx) {
     ShardBuild& sb = built[s];
     const size_t cap = NextPow2(std::max<size_t>(2, rows.size() * 2));
     const size_t mask = cap - 1;
-    sb.slots.assign(cap, kEmptySlot);
+    ResetSlots(sb.slots, cap);
     std::vector<uint32_t> rep;    // First row of each local group.
     std::vector<uint32_t> count;  // Rows per local group.
     std::vector<uint32_t> row_group(rows.size());
@@ -349,6 +272,102 @@ void HashIndex::Build(const Relation& rel, const ExecContext* ctx) {
           sb.slots[t] == kEmptySlot ? kEmptySlot : gb + sb.slots[t];
     }
   });
+}
+
+void HashIndex::BuildFused(const Relation& rel) {
+  // Small build (always serial): hash, group, and scatter fused into two
+  // row passes, writing the flat arrays directly. The staged pipeline in
+  // Build exists for the sharded regime; at this size its intermediate
+  // hash and shard-list arrays are most of the cost.
+  const size_t n = rel.NumTuples();
+  const size_t cap = NextPow2(std::max<size_t>(2, n * 2));
+  const size_t mask = cap - 1;
+  ResetSlots(slot_group_, cap);
+  std::vector<uint32_t> rep;    // First row of each group.
+  std::vector<uint32_t> count;  // Rows per group.
+  std::vector<uint32_t> row_group(n);
+  // Locals for everything the hot loop reads: the push_backs below keep
+  // the compiler from hoisting member/vector loads itself.
+  const size_t* kc = key_cols_.data();
+  const size_t nkc = key_cols_.size();
+  const Value* base = rel.RowData(0);
+  const size_t arity = rel.arity();
+  uint32_t* slots = slot_group_.data();
+  const Value* prev_row = nullptr;
+  uint32_t prev_group = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Value* row = base + i * arity;
+    // Equal key to the previous row ⇒ same group, no hash or probe. Pure
+    // short-circuit (valid for any row order), but SortDedup'ed input
+    // makes equal keys adjacent, collapsing duplicate-heavy builds to one
+    // probe per distinct key.
+    if (prev_row != nullptr) {
+      bool same = true;
+      for (size_t j = 0; j < nkc; ++j) {
+        if (row[kc[j]] != prev_row[kc[j]]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        ++count[prev_group];
+        row_group[i] = prev_group;
+        prev_row = row;
+        continue;
+      }
+    }
+    prev_row = row;
+    uint64_t h = kKeySeed;
+    for (size_t j = 0; j < nkc; ++j) {
+      h = HashCombine(h, static_cast<uint64_t>(row[kc[j]]));
+    }
+    size_t idx = h & mask;  // shard_bits_ == 0: same slot as ProbeGather.
+    for (;;) {
+      const uint32_t g = slots[idx];
+      if (g == kEmptySlot) {
+        const uint32_t fresh = static_cast<uint32_t>(group_hash_.size());
+        slots[idx] = fresh;
+        group_hash_.push_back(h);
+        rep.push_back(static_cast<uint32_t>(i));
+        count.push_back(1);
+        row_group[i] = fresh;
+        prev_group = fresh;
+        break;
+      }
+      if (group_hash_[g] == h) {
+        const Value* grow = base + rep[g] * arity;
+        bool eq = true;
+        for (size_t j = 0; j < nkc; ++j) {
+          if (grow[kc[j]] != row[kc[j]]) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          ++count[g];
+          row_group[i] = g;
+          prev_group = g;
+          break;
+        }
+      }
+      idx = (idx + 1) & mask;
+    }
+  }
+  const size_t ng = group_hash_.size();
+  offsets_.resize(ng + 1);
+  uint32_t acc = 0;
+  for (size_t g = 0; g < ng; ++g) {
+    offsets_[g] = acc;
+    acc += count[g];
+  }
+  offsets_[ng] = acc;
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  row_ids_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    row_ids_[cursor[row_group[i]]++] = static_cast<uint32_t>(i);
+  }
+  num_keys_ = ng;
+  shards_ = {ShardMeta{0, static_cast<uint32_t>(mask), 0}};
 }
 
 }  // namespace fgq

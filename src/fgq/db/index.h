@@ -70,15 +70,16 @@ class HashIndex {
     return ProbeGather([&](size_t j) { return key[j]; });
   }
 
-  /// Probe from `key_cols().size()` contiguous values.
-  RowSpan LookupKey(const Value* key) const {
+  /// Probe from `key_cols().size()` contiguous values. always_inline for
+  /// the same reason as ProbeGather: these wrappers sit in per-tuple loops.
+  __attribute__((always_inline)) RowSpan LookupKey(const Value* key) const {
     return ProbeGather([&](size_t j) { return key[j]; });
   }
 
   /// Probe from a full row of another relation: gathers `probe_cols` from
   /// `row` on the fly — no temporary key is built.
-  RowSpan LookupRow(const Value* row,
-                    const std::vector<size_t>& probe_cols) const {
+  __attribute__((always_inline)) RowSpan LookupRow(
+      const Value* row, const std::vector<size_t>& probe_cols) const {
     return ProbeGather([&](size_t j) { return row[probe_cols[j]]; });
   }
 
@@ -87,6 +88,16 @@ class HashIndex {
   /// Number of distinct keys; cached at build time, O(1).
   size_t NumKeys() const { return num_keys_; }
   const std::vector<size_t>& key_cols() const { return key_cols_; }
+
+  /// Heap footprint of the built arrays, in bytes (the borrowed relation
+  /// is not counted). Feeds the `index_bytes` trace counter.
+  size_t MemoryBytes() const {
+    return slot_group_.capacity() * sizeof(uint32_t) +
+           group_hash_.capacity() * sizeof(uint64_t) +
+           offsets_.capacity() * sizeof(uint32_t) +
+           row_ids_.capacity() * sizeof(uint32_t) +
+           shards_.capacity() * sizeof(ShardMeta);
+  }
 
   /// Raw layout accessors, used by the determinism tests (serial and
   /// parallel builds must produce bit-identical arrays).
@@ -106,6 +117,12 @@ class HashIndex {
 
   void Build(const Relation& rel, const ExecContext* ctx);
 
+  /// Small-relation build (below the sharding cutoff): hash, group, and
+  /// scatter fused into two row passes. Kept out of Build so the hot
+  /// grouping loop gets its own register allocation, independent of the
+  /// staged pipeline's many live ranges.
+  void BuildFused(const Relation& rel);
+
   /// Hashes the key columns of a stored row (no materialization).
   uint64_t HashRowKey(const Value* row) const {
     uint64_t h = kKeySeed;
@@ -116,9 +133,12 @@ class HashIndex {
   }
 
   /// Shared probe: `key_at(j)` yields the j-th key value. Returns the CSR
-  /// span of the matching group, or an empty span.
+  /// span of the matching group, or an empty span. always_inline: every
+  /// caller is a per-tuple probe loop, and the key gather (`key_at`) only
+  /// folds into the hash/verify code when this lands in the caller — GCC's
+  /// unit-growth budget otherwise outlines it in large translation units.
   template <typename KeyAt>
-  RowSpan ProbeGather(KeyAt&& key_at) const {
+  __attribute__((always_inline)) RowSpan ProbeGather(KeyAt&& key_at) const {
     if (key_cols_.empty() || row_ids_.empty()) {
       // Empty key: one group holding every row (empty when the relation
       // is). The arrays are already in that trivial shape.

@@ -8,6 +8,7 @@
 #include "fgq/eval/yannakakis.h"
 #include "fgq/hypergraph/hypergraph.h"
 #include "fgq/query/term.h"
+#include "fgq/trace/trace.h"
 
 namespace fgq {
 
@@ -67,42 +68,71 @@ Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
   return ExecuteWith(q, db, ctx_.WithCancel(cancel));
 }
 
+Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
+                                    const Database& db,
+                                    const ExecContext& ctx) const {
+  return ExecuteWith(q, db, ctx);
+}
+
 Result<QueryResult> Engine::ExecuteWith(const ConjunctiveQuery& q,
                                         const Database& db,
                                         const ExecContext& ctx) const {
   FGQ_RETURN_NOT_OK(q.Validate());
   QueryResult res;
   res.classification = Classify(q);
+  TraceSpan span(ctx.trace(), "engine.execute", "engine");
+  if (ctx.trace() != nullptr) {
+    span.Arg("query", q.name());
+    span.Arg("class", QueryClassName(res.classification));
+  }
   switch (res.classification) {
     case QueryClass::kBooleanAcyclic: {
       FGQ_ASSIGN_OR_RETURN(bool sat, EvaluateBooleanAcq(q, db, ctx));
       res.answers = Relation(q.name(), 0);
       if (sat) res.answers.AddNullary();
       res.algorithm = "boolean-semijoin-sweep";
+      span.Arg("algorithm", res.algorithm);
       return res;
     }
     case QueryClass::kFreeConnexAcyclic: {
       FGQ_ASSIGN_OR_RETURN(auto e, MakeConstantDelayEnumerator(q, db, ctx));
-      res.answers = DrainEnumerator(e.get(), q.name(), q.arity());
+      {
+        TraceSpan drain(ctx.trace(), "enumerate");
+        res.answers = DrainEnumerator(e.get(), q.name(), q.arity());
+      }
+      TraceCounter(ctx.trace(), "tuples_emitted", res.answers.NumTuples());
       res.algorithm = "constant-delay-enumeration";
+      span.Arg("algorithm", res.algorithm);
       return res;
     }
     case QueryClass::kGeneralAcyclic: {
       FGQ_ASSIGN_OR_RETURN(res.answers, EvaluateYannakakis(q, db, ctx));
+      TraceCounter(ctx.trace(), "tuples_emitted", res.answers.NumTuples());
       res.algorithm = "yannakakis";
+      span.Arg("algorithm", res.algorithm);
       return res;
     }
     case QueryClass::kAcyclicDisequalities: {
-      FGQ_ASSIGN_OR_RETURN(res.answers, EvaluateAcqNeq(q, db));
+      {
+        TraceSpan neq(ctx.trace(), "neq_witness_elimination");
+        FGQ_ASSIGN_OR_RETURN(res.answers, EvaluateAcqNeq(q, db));
+      }
+      TraceCounter(ctx.trace(), "tuples_emitted", res.answers.NumTuples());
       res.algorithm = "neq-witness-elimination";
+      span.Arg("algorithm", res.algorithm);
       return res;
     }
     case QueryClass::kAcyclicOrderComparisons:
     case QueryClass::kNegated:
     case QueryClass::kCyclic: {
-      FGQ_ASSIGN_OR_RETURN(res.answers,
-                           EvaluateBacktrack(q, db, ctx.cancel()));
+      {
+        TraceSpan oracle(ctx.trace(), "oracle.backtrack");
+        FGQ_ASSIGN_OR_RETURN(res.answers,
+                             EvaluateBacktrack(q, db, ctx.cancel()));
+      }
+      TraceCounter(ctx.trace(), "tuples_emitted", res.answers.NumTuples());
       res.algorithm = "backtracking-oracle";
+      span.Arg("algorithm", res.algorithm);
       return res;
     }
   }

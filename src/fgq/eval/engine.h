@@ -99,6 +99,11 @@ class Engine {
   /// the entry point the serving layer uses to enforce request deadlines.
   Result<QueryResult> Execute(const ConjunctiveQuery& q, const Database& db,
                               const CancelToken& cancel) const;
+  /// Fully explicit form: evaluate under a caller-assembled ExecContext
+  /// (pool + cancel token + trace sink). `Explain` and the serving layer
+  /// use this to attach a TraceContext for per-phase attribution.
+  Result<QueryResult> Execute(const ConjunctiveQuery& q, const Database& db,
+                              const ExecContext& ctx) const;
 
   /// Counts |phi(D)| without materializing answers: counting DP for
   /// acyclic queries (Theorems 4.21/4.28), oracle fallback otherwise.

@@ -6,6 +6,7 @@
 #include "fgq/db/index.h"
 #include "fgq/eval/yannakakis.h"
 #include "fgq/hypergraph/hypergraph.h"
+#include "fgq/trace/trace.h"
 
 namespace fgq {
 
@@ -326,6 +327,7 @@ Result<FreeConnexPlan> BuildFreeConnexPlan(const ConjunctiveQuery& q,
   }
 
   std::set<std::string> free(q.head().begin(), q.head().end());
+  TraceSpan projection_span(ctx.trace(), "free_projection");
   // One projection task per atom (slots are disjoint; empty slots are
   // purely existential atoms, reduced away), each morsel-parallel inside.
   std::vector<PreparedAtom> slots(rq.atoms.size());
@@ -448,13 +450,21 @@ Result<std::shared_ptr<const IndexedFreeConnexPlan>> IndexFreeConnexPlan(
   // The O(||D||) hash-index builds fan out one task per node, each build
   // itself morsel-parallel.
   out->indexes.resize(n);
-  ParallelFor(ctx.pool(), n, 1, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) {
-      out->indexes[i] =
-          std::make_unique<HashIndex>(out->nodes[i].rel, connector_cols[i],
-                                      ctx);
+  {
+    TraceSpan index_span(ctx.trace(), "index_build");
+    ParallelFor(ctx.pool(), n, 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        out->indexes[i] =
+            std::make_unique<HashIndex>(out->nodes[i].rel, connector_cols[i],
+                                        ctx);
+      }
+    });
+    if (ctx.trace() != nullptr) {
+      uint64_t bytes = 0;
+      for (const auto& idx : out->indexes) bytes += idx->MemoryBytes();
+      TraceCounter(ctx.trace(), "index_bytes", bytes);
     }
-  });
+  }
   FGQ_RETURN_NOT_OK(ctx.cancel().Check("plan index build"));
   // Output slots: first node/column providing each head variable.
   for (const std::string& v : head) {

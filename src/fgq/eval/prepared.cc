@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "fgq/db/index.h"
+#include "fgq/trace/trace.h"
 #include "fgq/util/hash.h"
 
 namespace fgq {
@@ -54,10 +55,15 @@ Result<PreparedAtom> PrepareAtom(const Atom& atom, const Database& db,
   }
   out.rel = Relation(atom.relation, out.vars.size());
   const size_t n = rel->NumTuples();
+  // One bulk increment per atom scan (PrepareAtoms may run this on a pool
+  // thread — counters are context-level and thread-safe, unlike spans).
+  TraceCounter(ctx.trace(), "tuples_scanned", n);
 
   // Row admission test: constants must match and repeated variables must
-  // agree with their first occurrence.
-  auto keep_row = [&](const Value* row) {
+  // agree with their first occurrence. always_inline for the same reason
+  // as mark_range in SemijoinMark below: the per-row call must stay folded
+  // into the scan loops whatever GCC's unit-growth budget decides.
+  auto keep_row = [&](const Value* row) __attribute__((always_inline)) {
     for (size_t j = 0; j < atom.args.size(); ++j) {
       const Term& a = atom.args[j];
       if (!a.is_var()) {
@@ -284,8 +290,14 @@ size_t SemijoinMark(const PreparedAtom& target, std::vector<uint8_t>* t_alive,
   // (disjoint alive bytes, so the marking is race-free and deterministic).
   FlatKeySet keys(source.rel, source_cols, s_alive);
   const size_t nt = target.rel.NumTuples();
+  TraceCounter(ctx.trace(), "tuples_probed", nt);
   ThreadPool* pool = ctx.pool();
-  auto mark_range = [&](size_t begin, size_t end) {
+  // always_inline: the serial path calls this lambda directly, and the
+  // probe loop must stay folded into SemijoinMark — GCC's unit-growth
+  // budget otherwise outlines it as the translation unit grows, costing
+  // ~8% on the sweep kernel (BM_SemijoinSweep).
+  auto mark_range = [&](size_t begin,
+                        size_t end) __attribute__((always_inline)) {
     // Same batched hash-then-prefetch-then-probe pattern as the set build;
     // each probe otherwise eats a full cache miss on large sets.
     constexpr size_t kBatch = 16;
@@ -353,6 +365,8 @@ PreparedAtom JoinProject(const PreparedAtom& left, const PreparedAtom& right,
     right_cols.push_back(static_cast<size_t>(right.VarIndex(left.vars[c])));
   }
   HashIndex right_index(right.rel, right_cols, ctx);
+  TraceCounter(ctx.trace(), "index_bytes", right_index.MemoryBytes());
+  TraceCounter(ctx.trace(), "tuples_probed", left.rel.NumTuples());
 
   // Where does each kept variable come from?
   struct Source {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "fgq/trace/trace.h"
+
 namespace fgq {
 
 Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db,
@@ -24,12 +26,18 @@ Result<ReducedQuery> FullReduce(const ConjunctiveQuery& q, const Database& db,
                                    q.ToString());
   }
   out.tree = std::move(gyo.tree);
-  FGQ_ASSIGN_OR_RETURN(out.atoms, PrepareAtoms(q, db, ctx));
+  {
+    TraceSpan span(ctx.trace(), "prepare_atoms");
+    FGQ_ASSIGN_OR_RETURN(out.atoms, PrepareAtoms(q, db, ctx));
+  }
   FGQ_RETURN_NOT_OK(ctx.cancel().Check("atom preparation"));
 
   // Both sweeps (bottom-up then top-down, level-parallel with a pool) as
   // bitmap updates over the prepared atoms, compacted once at the end.
-  FullReduceSweeps(&out.atoms, out.tree, ctx);
+  {
+    TraceSpan span(ctx.trace(), "semijoin_sweeps");
+    FullReduceSweeps(&out.atoms, out.tree, ctx);
+  }
   FGQ_RETURN_NOT_OK(ctx.cancel().Check("semijoin sweeps"));
   for (const PreparedAtom& a : out.atoms) {
     if (a.rel.empty() && a.rel.arity() > 0) {
@@ -114,6 +122,7 @@ Result<Relation> EvaluateYannakakis(const ConjunctiveQuery& q,
     return Relation(q.name(), q.arity());
   }
   std::set<std::string> free(q.head().begin(), q.head().end());
+  TraceSpan assembly(ctx.trace(), "join_assembly");
   PreparedAtom joined = JoinSubtree(rq, free, rq.tree.root, ctx);
   if (ctx.cancel().cancelled()) {
     Status base = ctx.cancel().Check("join assembly");

@@ -213,7 +213,12 @@ GyoResult GyoReduce(const Hypergraph& hg) {
   }
 
   result.acyclic = alive_count == 1;
-  if (!result.acyclic) return result;
+  if (!result.acyclic) {
+    for (size_t e = 0; e < m; ++e) {
+      if (alive[e]) result.remaining.push_back(static_cast<int>(e));
+    }
+    return result;
+  }
   for (size_t e = 0; e < m; ++e) {
     if (alive[e]) result.tree.root = static_cast<int>(e);
   }

@@ -96,6 +96,11 @@ struct GyoResult {
   bool acyclic = false;
   /// Valid join tree when acyclic.
   JoinTree tree;
+  /// When cyclic: the edge ids of the irreducible core the ear removal
+  /// stalled on (every remaining edge has a vertex shared with two others
+  /// and is contained in no other). EXPLAIN renders this as the cyclicity
+  /// witness. Empty when acyclic.
+  std::vector<int> remaining;
 };
 
 /// Runs the GYO ear-removal algorithm: alternately deletes vertices that

@@ -7,10 +7,10 @@ namespace fgq {
 
 namespace {
 
-/// Microsecond latency buckets, 1us .. ~8s.
-std::vector<double> LatencyBounds() {
-  return Histogram::ExponentialBounds(1.0, 2.0, 24);
-}
+/// Latency buckets, 1 ns .. ~8.6 s (Histogram::LatencyBounds). The old
+/// 1 us-start buckets clipped sub-microsecond enumeration steps into the
+/// bottom bucket, making p50 of a ~38 ns delay read as ~0.5 us.
+std::vector<double> LatencyBounds() { return Histogram::LatencyBounds(); }
 
 double ToMicros(std::chrono::nanoseconds d) {
   return static_cast<double>(d.count()) / 1000.0;
@@ -205,6 +205,12 @@ ServiceResponse QueryService::Process(Pending& p) {
       .GetHistogram("serve.queue_wait_us", LatencyBounds())
       .Observe(ToMicros(resp.queue_wait));
 
+  TraceSpan request_span(p.req.trace, "serve.request", "serve");
+  if (p.req.trace != nullptr) {
+    request_span.Arg("class", QueryClassName(p.classification));
+    request_span.Arg("verb", p.req.verb == ServeVerb::kRows ? "rows" : "count");
+  }
+
   PlanKey key{CanonicalQueryText(p.req.query), db_->version()};
   std::shared_ptr<const CachedPlan> cached;
   // A request whose deadline expired while queued fails fast.
@@ -216,6 +222,7 @@ ServiceResponse QueryService::Process(Pending& p) {
     if (cached) {
       metrics_.GetCounter("serve.cache.hits").Increment();
       resp.cache_hit = true;
+      request_span.Arg("cache", "hit");
     } else {
       metrics_.GetCounter("serve.cache.misses").Increment();
       cached = Prepare(p, &resp);
@@ -227,6 +234,7 @@ ServiceResponse QueryService::Process(Pending& p) {
     resp.algorithm = cached->algorithm;
     if (cached->plan) {
       // Serve from the shared indexed plan: a fresh cursor per request.
+      TraceSpan enumerate_span(p.req.trace, "enumerate", "serve");
       std::unique_ptr<AnswerEnumerator> cursor =
           MakePlanEnumerator(cached->plan);
       if (p.req.verb == ServeVerb::kRows) {
@@ -248,6 +256,7 @@ ServiceResponse QueryService::Process(Pending& p) {
                                std::to_string(out->NumTuples()) +
                                " answers enumerated)");
         } else {
+          TraceCounter(p.req.trace, "tuples_emitted", out->NumTuples());
           resp.answers = std::move(out);
         }
       } else {
@@ -257,10 +266,18 @@ ServiceResponse QueryService::Process(Pending& p) {
         if (p.cancel.cancelled()) {
           resp.status = p.cancel.Check("answer counting");
         } else {
+          TraceCounter(p.req.trace, "tuples_emitted", n);
           resp.count = BigInt::FromUint64(n);
         }
       }
     } else if (cached->answers) {
+      // Materialized answers still count as emitted to *this* request, so
+      // a traced cache hit reads the same as a traced miss (whose emits
+      // were already counted by the engine inside Prepare).
+      if (resp.cache_hit) {
+        TraceCounter(p.req.trace, "tuples_emitted",
+                     cached->answers->NumTuples());
+      }
       if (p.req.verb == ServeVerb::kRows) {
         resp.answers = cached->answers;
       } else {
@@ -278,6 +295,17 @@ ServiceResponse QueryService::Process(Pending& p) {
   metrics_
       .GetHistogram("serve.exec_us", LatencyBounds())
       .Observe(ToMicros(resp.exec_time));
+  if (p.req.trace != nullptr) {
+    // Per-phase attribution: completed evaluation spans of this request
+    // become serve.phase.<name>_us observations, so the \stats dump shows
+    // where traced requests spent their time (index build vs sweeps vs
+    // enumeration), not just end-to-end exec_us.
+    for (const TraceContext::Event& ev : p.req.trace->events()) {
+      if (ev.end_ns < 0 || ev.name == "serve.request") continue;
+      metrics_.GetHistogram("serve.phase." + ev.name + "_us", LatencyBounds())
+          .Observe(static_cast<double>(ev.DurationNs()) / 1000.0);
+    }
+  }
   return resp;
 }
 
@@ -289,7 +317,8 @@ std::shared_ptr<const CachedPlan> QueryService::Prepare(Pending& p,
       p.classification == QueryClass::kFreeConnexAcyclic) {
     // Cache the Theorem 4.6 preprocessing; the enumeration phase runs per
     // request against the shared indexes.
-    ExecContext ctx = engine_.context().WithCancel(p.cancel);
+    ExecContext ctx =
+        engine_.context().WithCancel(p.cancel).WithTrace(p.req.trace);
     Result<FreeConnexPlan> fc = BuildFreeConnexPlan(p.req.query, *db_, ctx);
     if (!fc.ok()) {
       out->status = fc.status();
@@ -309,7 +338,9 @@ std::shared_ptr<const CachedPlan> QueryService::Prepare(Pending& p,
   }
   // Every other class: evaluate once, cache the materialized answers (they
   // serve both verbs; general-acyclic counts equal the answer count).
-  Result<QueryResult> res = engine_.Execute(p.req.query, *db_, p.cancel);
+  Result<QueryResult> res = engine_.Execute(
+      p.req.query, *db_,
+      engine_.context().WithCancel(p.cancel).WithTrace(p.req.trace));
   if (!res.ok()) {
     out->status = res.status();
     return nullptr;

@@ -16,6 +16,7 @@
 #include "fgq/eval/engine.h"
 #include "fgq/query/cq.h"
 #include "fgq/serve/plan_cache.h"
+#include "fgq/trace/trace.h"
 #include "fgq/util/cancel.h"
 #include "fgq/util/metrics.h"
 #include "fgq/util/status.h"
@@ -81,6 +82,14 @@ struct ServiceRequest {
   ServeVerb verb = ServeVerb::kRows;
   /// Per-request deadline; zero means no deadline.
   std::chrono::nanoseconds timeout{0};
+  /// Optional trace sink for this request (not owned; must outlive the
+  /// response future). The worker opens a `serve.request` span, plumbs
+  /// the sink through the evaluation (prepare / sweeps / index build /
+  /// enumerate spans), and feeds the completed span durations into the
+  /// `serve.phase.<name>_us` metrics histograms. Each request gets its
+  /// own TraceContext, so concurrent traces never interleave. Null (the
+  /// default) keeps the request on the untraced fast path.
+  TraceContext* trace = nullptr;
 };
 
 struct ServiceResponse {

@@ -1,0 +1,255 @@
+#include "fgq/trace/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "fgq/hypergraph/hypergraph.h"
+#include "fgq/query/term.h"
+
+namespace fgq {
+
+namespace {
+
+// One row per QueryClass, in enum order. docs/ARCHITECTURE.md renders the
+// same table; keep them in sync.
+constexpr QueryClassInfo kClassTable[] = {
+    {"boolean-acyclic", "Theorem 4.2", "boolean-semijoin-sweep",
+     "O(||phi|| * ||D||) decision", "src/fgq/eval/yannakakis.cc",
+     "bench_yannakakis (BM_YannakakisBooleanDense)"},
+    {"free-connex", "Theorem 4.6", "constant-delay-enumeration",
+     "O(||phi|| * ||D||) preprocessing, O(||phi||) delay",
+     "src/fgq/eval/enumerate.cc",
+     "bench_enum_delay (BM_ConstantDelayEnumeration)"},
+    {"general-acyclic", "Theorem 4.2", "yannakakis",
+     "O(||phi|| * ||D|| * ||phi(D)||)", "src/fgq/eval/yannakakis.cc",
+     "bench_yannakakis (BM_YannakakisPath)"},
+    {"acyclic-disequalities", "Theorem 4.20", "neq-witness-elimination",
+     "O(f(||phi||) * ||D||) preprocessing, constant delay",
+     "src/fgq/eval/diseq.cc", "bench_disequality"},
+    {"acyclic-order-comparisons", "Theorem 4.15", "backtracking-oracle",
+     "W[1]-hard (k-clique reduction); oracle is worst-case exponential",
+     "src/fgq/eval/oracle.cc", "bench_yannakakis (oracle baselines)"},
+    {"negated", "Theorem 4.31", "backtracking-oracle",
+     "beta-acyclic NCQ decidable in O(||phi|| * ||D|| log ||D||); "
+     "general case via oracle",
+     "src/fgq/eval/oracle.cc (decision: src/fgq/eval/ncq.cc)", "bench_ncq"},
+    {"cyclic", "Theorem 4.1", "backtracking-oracle",
+     "no ||phi||^O(1) * ||D||^O(1) algorithm expected (W[1]-hardness)",
+     "src/fgq/eval/oracle.cc", "bench_yannakakis (BM_JoinMaterializeBaseline)"},
+};
+
+std::string Indent(const std::string& block, const std::string& pad) {
+  std::istringstream in(block);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) out << pad << line << '\n';
+  return out.str();
+}
+
+std::string EdgeList(const Hypergraph& hg, const std::vector<int>& edges) {
+  std::ostringstream os;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i) os << ", ";
+    os << 'e' << edges[i] << " {";
+    const std::vector<int>& vs = hg.Edge(edges[i]);
+    for (size_t j = 0; j < vs.size(); ++j) {
+      if (j) os << ", ";
+      os << hg.VertexName(vs[j]);
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+/// The structural evidence behind a Classify verdict, re-derived with the
+/// intermediate objects kept.
+std::string BuildWitness(const ConjunctiveQuery& q, QueryClass cls) {
+  std::ostringstream w;
+  if (q.HasNegation()) {
+    size_t negated = 0;
+    for (const Atom& a : q.atoms()) negated += a.negated ? 1 : 0;
+    w << "negated atoms: " << negated << " of " << q.atoms().size()
+      << " (outside the positive-ACQ fast paths)\n";
+    Hypergraph hg = Hypergraph::FromQuery(q);
+    BetaResult beta = BetaAcyclicity(hg);
+    if (beta.beta_acyclic) {
+      w << "beta-acyclic: yes; nest-point elimination order:";
+      for (int v : beta.elimination_order) w << ' ' << hg.VertexName(v);
+      w << " (Theorem 4.31 applies when all atoms are negated)\n";
+    } else {
+      w << "beta-acyclic: no (Theorem 4.31 does not apply)\n";
+    }
+    return w.str();
+  }
+
+  Hypergraph hg = Hypergraph::FromQuery(q);
+  GyoResult gyo = GyoReduce(hg);
+  if (!gyo.acyclic) {
+    w << "alpha-acyclic: no; GYO ear removal stalls on the core: "
+      << EdgeList(hg, gyo.remaining) << '\n';
+    return w.str();
+  }
+  w << "alpha-acyclic: yes; GYO join tree:\n"
+    << Indent(gyo.tree.ToString(hg), "  ");
+
+  if (!q.comparisons().empty()) {
+    size_t order = 0, neq = 0;
+    for (const Comparison& c : q.comparisons()) {
+      (c.op == Comparison::Op::kNotEqual ? neq : order) += 1;
+    }
+    w << "comparisons: " << neq << " disequalities, " << order
+      << " order comparisons (excluded from the hypergraph, Def 4.14)\n";
+    return w.str();
+  }
+
+  if (cls == QueryClass::kBooleanAcyclic) {
+    w << "boolean: yes (empty head; only satisfiability is asked)\n";
+    return w.str();
+  }
+
+  // Free-connex check (Definition 4.4): add one edge covering exactly the
+  // head and re-test alpha-acyclicity. Mirrors IsFreeConnex, but keeps the
+  // failing core when the answer is no.
+  if (q.arity() <= 1) {
+    w << "free-connex: yes (arity <= 1 is trivially free-connex)\n";
+    return w.str();
+  }
+  Hypergraph ext = Hypergraph::FromQuery(q);
+  std::vector<int> head_ids;
+  for (const std::string& v : q.head()) head_ids.push_back(ext.AddVertex(v));
+  const int head_edge = ext.AddEdge(head_ids, /*label=*/-2);
+  GyoResult egyo = GyoReduce(ext);
+  if (egyo.acyclic) {
+    w << "free-connex: yes (head edge e" << head_edge
+      << " keeps the extended hypergraph alpha-acyclic, Def 4.4)\n";
+  } else {
+    w << "free-connex: no; with head edge e" << head_edge << " {";
+    for (size_t i = 0; i < q.head().size(); ++i) {
+      if (i) w << ", ";
+      w << q.head()[i];
+    }
+    w << "} GYO stalls on: " << EdgeList(ext, egyo.remaining)
+      << " (Theorem 4.8: constant delay would imply fast Boolean matrix "
+         "multiplication)\n";
+  }
+  return w.str();
+}
+
+void AppendJsonEscaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const QueryClassInfo& GetQueryClassInfo(QueryClass c) {
+  return kClassTable[static_cast<size_t>(c)];
+}
+
+std::string Explanation::ClassificationText() const {
+  std::ostringstream os;
+  os << "query: " << query_text << '\n';
+  os << "class: " << info.name << '\n';
+  os << "theorem: " << info.theorem << '\n';
+  os << "algorithm: " << info.algorithm << '\n';
+  os << "bound: " << info.bound << '\n';
+  os << "implemented-in: " << info.file << '\n';
+  os << "verified-by: " << info.benchmark << '\n';
+  os << "witness:\n" << Indent(witness, "  ");
+  return os.str();
+}
+
+std::string Explanation::Text() const {
+  std::ostringstream os;
+  os << ClassificationText();
+  if (executed) {
+    os << "execution:\n";
+    os << "  answers: " << num_answers << '\n';
+    os << "  dispatched-to: " << algorithm << '\n';
+    if (trace != nullptr) os << Indent(trace->RenderText(), "  ");
+  }
+  return os.str();
+}
+
+std::string Explanation::Json() const {
+  std::ostringstream os;
+  os << "{\"query\":";
+  AppendJsonEscaped(os, query_text);
+  os << ",\"class\":\"" << info.name << '"';
+  os << ",\"theorem\":\"" << info.theorem << '"';
+  os << ",\"algorithm\":\"" << info.algorithm << '"';
+  os << ",\"bound\":";
+  AppendJsonEscaped(os, info.bound);
+  os << ",\"implemented_in\":";
+  AppendJsonEscaped(os, info.file);
+  os << ",\"verified_by\":";
+  AppendJsonEscaped(os, info.benchmark);
+  os << ",\"witness\":";
+  AppendJsonEscaped(os, witness);
+  if (executed) {
+    os << ",\"answers\":" << num_answers;
+    os << ",\"dispatched_to\":\"" << algorithm << '"';
+    if (trace != nullptr) {
+      std::string chrome = trace->ChromeTraceJson();
+      // ChromeTraceJson is a complete object; embed it verbatim.
+      os << ",\"trace\":" << chrome;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+Result<Explanation> Explain(const ConjunctiveQuery& q, const Database& db,
+                            const Engine& engine,
+                            const ExplainOptions& opts) {
+  FGQ_RETURN_NOT_OK(q.Validate());
+  Explanation out;
+  out.query_text = q.ToString();
+  out.classification = Engine::Classify(q);
+  out.info = GetQueryClassInfo(out.classification);
+  out.witness = BuildWitness(q, out.classification);
+  if (opts.execute) {
+    auto trace = std::make_shared<TraceContext>();
+    FGQ_ASSIGN_OR_RETURN(
+        QueryResult res,
+        engine.Execute(q, db, engine.context().WithTrace(trace.get())));
+    out.executed = true;
+    out.num_answers = res.NumAnswers();
+    out.algorithm = res.algorithm;
+    out.trace = std::move(trace);
+  }
+  return out;
+}
+
+Result<Explanation> Explain(const ConjunctiveQuery& q, const Database& db,
+                            const ExplainOptions& opts) {
+  return Explain(q, db, Engine(), opts);
+}
+
+}  // namespace fgq

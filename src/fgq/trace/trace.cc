@@ -1,0 +1,234 @@
+#include "fgq/trace/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fgq {
+namespace {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Minimal JSON string escaping — span names and args are identifiers and
+// query texts, but query texts can contain quotes/backslashes.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string HumanDuration(int64_t ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+  } else if (ns < 10'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+TraceContext::TraceContext() : t0_ns_(MonotonicNowNs()) {}
+
+int64_t TraceContext::NowNs() const { return MonotonicNowNs() - t0_ns_; }
+
+int TraceContext::BeginSpan(std::string name, std::string category) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  auto [it, inserted] = tids_.try_emplace(self, tids_.size());
+  std::vector<int>& stack = open_[self];
+
+  Event ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.start_ns = now;
+  ev.tid = it->second;
+  ev.parent = stack.empty() ? -1 : stack.back();
+  const int id = static_cast<int>(events_.size());
+  events_.push_back(std::move(ev));
+  stack.push_back(id);
+  return id;
+}
+
+void TraceContext::EndSpan(int id) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(events_.size())) return;
+  events_[id].end_ns = now;
+  std::vector<int>& stack = open_[std::this_thread::get_id()];
+  // RAII guarantees LIFO per thread; be defensive about manual misuse.
+  auto it = std::find(stack.rbegin(), stack.rend(), id);
+  if (it != stack.rend()) stack.erase(std::next(it).base());
+}
+
+void TraceContext::SpanArg(int id, std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(events_.size())) return;
+  events_[id].args.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceContext::AddCounter(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::vector<TraceContext::Event> TraceContext::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::map<std::string, uint64_t> TraceContext::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+uint64_t TraceContext::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+int64_t TraceContext::SpanDurationNs(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const Event& ev : events_) {
+    if (ev.name == name) total += ev.DurationNs();
+  }
+  return total;
+}
+
+std::string TraceContext::RenderText(size_t from_event) const {
+  std::vector<Event> evs = events();
+  std::map<std::string, uint64_t> ctrs = counters();
+
+  // Depth via parent chain; events_ is in begin order, so parents always
+  // precede children and one pass suffices.
+  std::vector<int> depth(evs.size(), 0);
+  for (size_t i = 0; i < evs.size(); ++i) {
+    if (evs[i].parent >= 0) depth[i] = depth[evs[i].parent] + 1;
+  }
+
+  std::ostringstream out;
+  for (size_t i = from_event; i < evs.size(); ++i) {
+    std::string line(static_cast<size_t>(2 * depth[i]), ' ');
+    line += evs[i].name;
+    if (line.size() < 36) line.resize(36, ' ');
+    out << line << ' ';
+    if (evs[i].end_ns < 0) {
+      out << "(open)";
+    } else {
+      out << HumanDuration(evs[i].DurationNs());
+    }
+    for (const auto& [k, v] : evs[i].args) out << "  " << k << '=' << v;
+    out << '\n';
+  }
+  if (!ctrs.empty()) {
+    out << "counters:";
+    for (const auto& [k, v] : ctrs) out << ' ' << k << '=' << v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string TraceContext::ChromeTraceJson() const {
+  std::vector<Event> evs = events();
+  std::map<std::string, uint64_t> ctrs = counters();
+
+  // Chrome's trace_event format wants microsecond floats; keep sub-us
+  // resolution by emitting three decimals.
+  auto us = [](int64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", ns / 1e3);
+    return std::string(buf);
+  };
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& ev : evs) {
+    if (ev.end_ns < 0) continue;  // open spans have no duration yet
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, ev.name);
+    out += ",\"cat\":";
+    AppendJsonString(&out, ev.category);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(ev.tid) +
+           ",\"ts\":" + us(ev.start_ns) + ",\"dur\":" + us(ev.DurationNs());
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < ev.args.size(); ++i) {
+        if (i != 0) out += ",";
+        AppendJsonString(&out, ev.args[i].first);
+        out += ":";
+        AppendJsonString(&out, ev.args[i].second);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  if (!ctrs.empty()) {
+    if (!first) out += ",\n";
+    out +=
+        "{\"name\":\"counters\",\"cat\":\"eval\",\"ph\":\"i\",\"pid\":1,"
+        "\"tid\":0,\"s\":\"g\",\"ts\":0,\"args\":{";
+    bool cfirst = true;
+    for (const auto& [k, v] : ctrs) {
+      if (!cfirst) out += ",";
+      cfirst = false;
+      AppendJsonString(&out, k);
+      out += ":" + std::to_string(v);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceContext::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open trace output: " + path);
+  out << ChromeTraceJson();
+  out.flush();
+  if (!out) return Status::Internal("short write to trace output: " + path);
+  return Status::OK();
+}
+
+}  // namespace fgq

@@ -1,0 +1,157 @@
+#ifndef FGQ_TRACE_TRACE_H_
+#define FGQ_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fgq/util/status.h"
+
+/// \file trace.h
+/// The span/tracing layer of the evaluation core.
+///
+/// The paper's whole point is that *which* algorithm runs — one semijoin
+/// sweep, full Yannakakis, the constant-delay plan, the backtracking
+/// oracle — determines the complexity class, yet an end-to-end wall-clock
+/// number says nothing about where the time went. A TraceContext records
+/// the engine's phases as *spans* (named intervals with monotonic
+/// timestamps, nested per thread) plus bulk counters (tuples scanned /
+/// probed / emitted, bytes of index built), so a single run can be
+/// attributed: this much in atom preparation, this much in the sweeps,
+/// this much building indexes, this much per answer.
+///
+/// Cost model: tracing is strictly opt-in. Every instrumentation site
+/// holds a `TraceContext*` that is null by default (ExecContext::trace());
+/// with no sink attached the whole layer is one pointer compare per
+/// *phase* (never per tuple — counters are added in bulk after a scan).
+/// With a sink attached, Begin/End take a mutex, which is fine at phase
+/// granularity (tens of spans per query, not thousands).
+///
+/// A TraceContext is meant to cover ONE logical unit — one Engine call or
+/// one service request. The serving layer attaches a fresh context per
+/// request, which is what keeps concurrent request traces disjoint (the
+/// trace_test TSan case pins this down). Within a context, spans opened
+/// by the same thread nest by construction; pool-internal morsel tasks do
+/// not open spans (phases are attributed at the orchestration level).
+///
+/// Exports: RenderText() for human eyes (the EXPLAIN breakdown),
+/// ChromeTraceJson()/WriteChromeTrace() in Chrome's trace_event format —
+/// load the file at chrome://tracing or https://ui.perfetto.dev.
+
+namespace fgq {
+
+/// Collects spans and counters for one evaluation / one request.
+/// Thread-safe; see the cost model above.
+class TraceContext {
+ public:
+  /// One completed (or still-open) span.
+  struct Event {
+    std::string name;      ///< Phase name, e.g. "prepare_atoms".
+    std::string category;  ///< Coarse grouping: "engine", "eval", "serve".
+    int64_t start_ns = 0;  ///< Monotonic, relative to context creation.
+    int64_t end_ns = -1;   ///< -1 while the span is open.
+    uint64_t tid = 0;      ///< Small per-context thread number.
+    int parent = -1;       ///< Index of the enclosing span, -1 for roots.
+    /// String annotations ("class" = "free-connex", ...), set by the
+    /// owning thread while the span is open.
+    std::vector<std::pair<std::string, std::string>> args;
+
+    int64_t DurationNs() const { return end_ns < 0 ? 0 : end_ns - start_ns; }
+  };
+
+  TraceContext();
+
+  /// Opens a span; returns its id (index into events()). The parent is
+  /// the calling thread's innermost open span.
+  int BeginSpan(std::string name, std::string category = "eval");
+  /// Closes the span (must be the calling thread's innermost open one —
+  /// guaranteed when spans are only opened through the RAII TraceSpan).
+  void EndSpan(int id);
+  /// Attaches a string annotation to an open or closed span.
+  void SpanArg(int id, std::string key, std::string value);
+
+  /// Adds `delta` to the context-wide counter `name`. Counters are
+  /// context totals (not per span): instrumentation sites increment them
+  /// in bulk — once per scan/build, never per tuple.
+  void AddCounter(const std::string& name, uint64_t delta);
+
+  /// Snapshot accessors (copy under the mutex; cheap at phase counts).
+  std::vector<Event> events() const;
+  std::map<std::string, uint64_t> counters() const;
+  uint64_t counter(const std::string& name) const;
+
+  /// Total duration of all completed spans named `name` (benchmarks use
+  /// this for per-phase attribution).
+  int64_t SpanDurationNs(const std::string& name) const;
+
+  /// Indented span tree with durations plus the counter totals:
+  ///
+  ///   engine.execute                      1.82 ms  class=free-connex
+  ///     prepare_atoms                     0.61 ms
+  ///     semijoin_sweeps                   0.33 ms
+  ///     ...
+  ///   counters: index_bytes=81920 tuples_scanned=24576 ...
+  ///
+  /// `from_event` skips the first events — callers reusing one context
+  /// across units of work (the fgq_serve `trace` verb) render only the
+  /// spans added since their last snapshot of events().size().
+  std::string RenderText(size_t from_event = 0) const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}): one complete ("X")
+  /// event per span, one instant event carrying the counter totals.
+  std::string ChromeTraceJson() const;
+  /// Writes ChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  int64_t NowNs() const;
+
+  mutable std::mutex mu_;
+  int64_t t0_ns_ = 0;
+  std::vector<Event> events_;
+  std::map<std::string, uint64_t> counters_;
+  /// Per-thread stack of open span ids (well-nesting per thread).
+  std::map<std::thread::id, std::vector<int>> open_;
+  /// Stable small numbers for thread ids, in first-seen order.
+  std::map<std::thread::id, uint64_t> tids_;
+};
+
+/// RAII span. Null context = no-op (one pointer compare).
+class TraceSpan {
+ public:
+  TraceSpan(TraceContext* trace, const char* name, const char* category)
+      : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->BeginSpan(name, category);
+  }
+  explicit TraceSpan(TraceContext* trace, const char* name)
+      : TraceSpan(trace, name, "eval") {}
+  ~TraceSpan() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Annotates the span ("class" = "cyclic", ...).
+  void Arg(const char* key, std::string value) {
+    if (trace_ != nullptr) trace_->SpanArg(id_, key, std::move(value));
+  }
+
+ private:
+  TraceContext* trace_;
+  int id_ = -1;
+};
+
+/// Bulk counter increment; no-op on a null context.
+inline void TraceCounter(TraceContext* trace, const char* name,
+                         uint64_t delta) {
+  if (trace != nullptr && delta != 0) trace->AddCounter(name, delta);
+}
+
+}  // namespace fgq
+
+#endif  // FGQ_TRACE_TRACE_H_

@@ -22,6 +22,8 @@
 
 namespace fgq {
 
+class TraceContext;  // src/fgq/trace/trace.h — util must not depend on it
+
 struct ExecOptions {
   /// Total execution lanes. 1 = serial (the default); 0 or negative =
   /// one lane per hardware thread.
@@ -79,10 +81,24 @@ class ExecContext {
     return out;
   }
 
+  /// The trace sink the instrumentation sites report to, or null (the
+  /// default — tracing off, near-zero cost). Not owned; the caller keeps
+  /// the TraceContext alive for the duration of the evaluation.
+  TraceContext* trace() const { return trace_; }
+
+  /// A copy of this context that reports spans/counters to `trace`.
+  /// Pass nullptr to detach.
+  ExecContext WithTrace(TraceContext* trace) const {
+    ExecContext out = *this;
+    out.trace_ = trace;
+    return out;
+  }
+
  private:
   std::shared_ptr<ThreadPool> pool_;
   size_t morsel_size_ = 4096;
   CancelToken cancel_;
+  TraceContext* trace_ = nullptr;
 };
 
 }  // namespace fgq

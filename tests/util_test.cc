@@ -324,6 +324,26 @@ TEST(Metrics, ExponentialBounds) {
   EXPECT_DOUBLE_EQ(b[4], 16.0);
 }
 
+TEST(Metrics, LatencyBoundsResolveSubMicrosecondObservations) {
+  // Regression: the serving histograms used ExponentialBounds(1.0, ...),
+  // whose first bucket is [0, 1us] — every sub-microsecond phase (a plan
+  // cache hit costs ~38ns) interpolated to ~0.5us, a 13x overstatement.
+  // LatencyBounds starts at 1ns so the same observation lands in a bucket
+  // narrow enough to read back at the right order of magnitude.
+  Histogram coarse(Histogram::ExponentialBounds(1.0, 2.0, 34));
+  Histogram fine(Histogram::LatencyBounds());
+  for (int i = 0; i < 100; ++i) {
+    coarse.Observe(0.038);  // 38ns, in microseconds
+    fine.Observe(0.038);
+  }
+  EXPECT_GT(coarse.Quantile(0.5), 0.25);  // The bug: reads as ~0.5us.
+  EXPECT_LT(fine.Quantile(0.5), 0.064);   // Containing bucket (0.032, 0.064].
+  EXPECT_GT(fine.Quantile(0.5), 0.032);
+  // The top of the range still covers multi-second outliers.
+  double top = Histogram::LatencyBounds().back();
+  EXPECT_GE(top, 4e6);  // >= ~4s in microseconds.
+}
+
 TEST(Metrics, RegistryStableHandlesAndTextDump) {
   MetricsRegistry reg;
   Counter& c1 = reg.GetCounter("requests");
