@@ -5,12 +5,12 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench_json_io.h"
 #include "fgq/trace/trace.h"
 
 /// \file bench_json.h
@@ -59,13 +59,8 @@ inline void AddTraceCounters(benchmark::State& state,
   }
 }
 
-struct Entry {
-  std::string name;
-  double real_ns = 0;
-  double cpu_ns = 0;
-  int64_t iterations = 0;
-  std::vector<std::pair<std::string, double>> counters;
-};
+// Entry, Escape, WriteJson live in bench_json_io.h (shared with tools
+// that emit the schema without the benchmark harness, e.g. fgq_loadgen).
 
 /// Console reporter that also collects each per-iteration run (aggregates
 /// like BigO/RMS rows are skipped — they have no ns/op).
@@ -94,35 +89,6 @@ class CollectingReporter : public benchmark::ConsoleReporter {
  private:
   std::vector<Entry> entries_;
 };
-
-inline std::string Escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
-  }
-  return out;
-}
-
-inline bool WriteJson(const std::string& path, const std::string& binary,
-                      const std::vector<Entry>& entries) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "{\n  \"binary\": \"" << Escape(binary) << "\",\n"
-      << "  \"benchmarks\": [\n";
-  for (size_t i = 0; i < entries.size(); ++i) {
-    const Entry& e = entries[i];
-    out << "    {\"name\": \"" << Escape(e.name) << "\", \"real_ns\": "
-        << e.real_ns << ", \"cpu_ns\": " << e.cpu_ns
-        << ", \"iterations\": " << e.iterations;
-    for (const auto& [k, v] : e.counters) {
-      out << ", \"" << Escape(k) << "\": " << v;
-    }
-    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  return static_cast<bool>(out);
-}
 
 inline int Main(int argc, char** argv) {
   std::string json_path;

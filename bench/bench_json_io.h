@@ -1,0 +1,65 @@
+#ifndef FGQ_BENCH_BENCH_JSON_IO_H_
+#define FGQ_BENCH_BENCH_JSON_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file bench_json_io.h
+/// The schema half of bench_json.h, with no google-benchmark dependency.
+///
+/// Tools that measure without the benchmark harness (fgq_loadgen drives a
+/// socket server open-loop; there is no timed inner function for
+/// benchmark to own) still need to emit the exact BENCH_PR*.json schema
+/// so snapshots stay mechanically comparable across PRs. This header is
+/// that schema: one Entry per measured configuration, flat name/real_ns/
+/// cpu_ns/iterations plus free-form counters, serialized by WriteJson.
+/// bench_json.h includes this and layers the benchmark-reporter glue on
+/// top.
+
+namespace fgq {
+namespace benchjson {
+
+struct Entry {
+  std::string name;
+  double real_ns = 0;
+  double cpu_ns = 0;
+  int64_t iterations = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+inline std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+inline bool WriteJson(const std::string& path, const std::string& binary,
+                      const std::vector<Entry>& entries) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"binary\": \"" << Escape(binary) << "\",\n"
+      << "  \"benchmarks\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out << "    {\"name\": \"" << Escape(e.name) << "\", \"real_ns\": "
+        << e.real_ns << ", \"cpu_ns\": " << e.cpu_ns
+        << ", \"iterations\": " << e.iterations;
+    for (const auto& [k, v] : e.counters) {
+      out << ", \"" << Escape(k) << "\": " << v;
+    }
+    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace benchjson
+}  // namespace fgq
+
+#endif  // FGQ_BENCH_BENCH_JSON_IO_H_

@@ -95,7 +95,7 @@ void BM_EngineExecuteParallel(benchmark::State& state) {
   ConjunctiveQuery q = FullPathQuery(1);
   Engine engine(Opts(threads));
   for (auto _ : state) {
-    auto res = engine.Execute(q, db);
+    auto res = engine.Run(ExecRequest(q, db));
     if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
     benchmark::DoNotOptimize(res);
   }

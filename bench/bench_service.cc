@@ -37,7 +37,7 @@ void BM_ServeCold(benchmark::State& state) {
     service.cache().Clear();
     ServiceRequest req;
     req.query = q;
-    ServiceResponse resp = service.Call(std::move(req));
+    ServiceResponse resp = service.Submit(std::move(req)).get();
     if (!resp.status.ok()) state.SkipWithError(resp.status.ToString().c_str());
     benchmark::DoNotOptimize(resp.answers);
   }
@@ -56,12 +56,12 @@ void BM_ServeCached(benchmark::State& state) {
   {
     ServiceRequest warm;
     warm.query = q;
-    service.Call(std::move(warm));  // Populate the cache.
+    service.Submit(std::move(warm)).get();  // Populate the cache.
   }
   for (auto _ : state) {
     ServiceRequest req;
     req.query = q;
-    ServiceResponse resp = service.Call(std::move(req));
+    ServiceResponse resp = service.Submit(std::move(req)).get();
     if (!resp.status.ok()) state.SkipWithError(resp.status.ToString().c_str());
     benchmark::DoNotOptimize(resp.answers);
   }
@@ -111,7 +111,7 @@ void BM_ServeMixedThroughput(benchmark::State& state) {
   for (const ConjunctiveQuery& q : qs) {
     ServiceRequest req;
     req.query = q;
-    service.Call(std::move(req));
+    service.Submit(std::move(req)).get();
   }
   size_t issued = 0;
   for (auto _ : state) {

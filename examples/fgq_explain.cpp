@@ -70,8 +70,9 @@ std::string ExplainCase(const RegressionCase& c, bool execute,
           c.name + (c.query.disjuncts.size() > 1 ? "#" + std::to_string(i)
                                                  : "");
       TraceSpan case_span(trace, label.c_str(), "corpus");
-      Result<QueryResult> run = engine.Execute(
-          c.query.disjuncts[i], c.db, engine.context().WithTrace(trace));
+      ExecRequest exec(c.query.disjuncts[i], c.db);
+      exec.trace = trace;
+      Result<ExecResult> run = engine.Run(exec);
       if (!run.ok()) {
         *failure = run.status();
         return out.str();

@@ -8,6 +8,13 @@
 //
 //   ./build/examples/fgq_serve [--trace=out.json] < script.txt
 //
+// With --listen=PORT the binary instead boots the fgq::net socket server
+// over the synthetic serving workload (see fgq_loadgen) and runs until
+// SIGINT/SIGTERM, then drains gracefully and dumps stats:
+//
+//   ./build/examples/fgq_serve --listen=7411 --shards=2 --tuples=2000 &
+//   ./build/examples/fgq_loadgen --connect=127.0.0.1:7411 --qps=500
+//
 // Commands:
 //   fact <Rel> <v1> <v2> ...   add a fact (bumps the db version,
 //                              invalidating cached plans)
@@ -30,15 +37,19 @@
 // chrome://tracing or https://ui.perfetto.dev.
 
 #include <chrono>
+#include <csignal>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "fgq/db/loader.h"
+#include "fgq/net/server.h"
 #include "fgq/query/parser.h"
 #include "fgq/serve/query_service.h"
 #include "fgq/trace/explain.h"
 #include "fgq/trace/trace.h"
+#include "fgq/workload/generators.h"
 
 using namespace fgq;
 
@@ -80,6 +91,48 @@ void PrintResponse(const ServiceResponse& resp, ServeVerb verb,
   if (resp.answers->NumTuples() > limit) std::cout << "    ...\n";
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+/// --listen mode: socket server over the canonical serving workload.
+/// `fact_file` (from --db=PATH) substitutes a user database for the
+/// synthetic one.
+int RunNetServer(uint16_t port, size_t shards, size_t tuples,
+                 const std::string& fact_file) {
+  Database db;
+  if (fact_file.empty()) {
+    db = ServeWorkloadDatabase(tuples, /*seed=*/1);
+  } else {
+    Dictionary dict;
+    Status st = LoadFactsFromFile(fact_file, &db, &dict);
+    if (!st.ok()) {
+      std::cerr << "fgq_serve: " << st << "\n";
+      return 2;
+    }
+  }
+  net::NetServerOptions opts;
+  opts.port = port;
+  opts.num_shards = shards;
+  Result<std::unique_ptr<net::NetServer>> server =
+      net::NetServer::Start(&db, opts);
+  if (!server.ok()) {
+    std::cerr << "fgq_serve: " << server.status() << "\n";
+    return 2;
+  }
+  std::cout << "fgq_serve: listening on " << opts.host << ":"
+            << (*server)->port() << " with " << (*server)->num_shards()
+            << " shard(s)\n"
+            << std::flush;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*server)->Stop();
+  std::cout << (*server)->StatsDump();
+  return 0;
+}
+
 std::string Indent(const std::string& block) {
   std::istringstream in(block);
   std::ostringstream out;
@@ -92,15 +145,32 @@ std::string Indent(const std::string& block) {
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string fact_file;
+  bool listen = false;
+  uint16_t listen_port = 0;
+  size_t shards = 1;
+  size_t tuples = 2000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen = true;
+      listen_port = static_cast<uint16_t>(std::stoi(arg.substr(9)));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<size_t>(std::stoull(arg.substr(9)));
+    } else if (arg.rfind("--tuples=", 0) == 0) {
+      tuples = static_cast<size_t>(std::stoull(arg.substr(9)));
+    } else if (arg.rfind("--db=", 0) == 0) {
+      fact_file = arg.substr(5);
     } else {
-      std::cerr << "unknown flag '" << arg << "' (try --trace=out.json)\n";
+      std::cerr << "unknown flag '" << arg
+                << "' (try --trace=out.json or --listen=PORT "
+                   "[--shards=N] [--tuples=N] [--db=facts.txt])\n";
       return 2;
     }
   }
+  if (listen) return RunNetServer(listen_port, shards, tuples, fact_file);
 
   Database db;
   Dictionary dict;
@@ -181,7 +251,7 @@ int main(int argc, char** argv) {
         req.trace = &session_trace;
         traced_any = true;
       }
-      ServiceResponse resp = service.Call(std::move(req));
+      ServiceResponse resp = service.Submit(std::move(req)).get();
       PrintResponse(resp, cmd == "count" ? ServeVerb::kCount : ServeVerb::kRows,
                     dict);
       if (traced) std::cout << Indent(session_trace.RenderText(trace_mark));

@@ -7,7 +7,7 @@
 //
 //   fuzz_check [--seeds=N] [--first-seed=S] [--classes=a,b,...]
 //              [--no-shrink] [--regress-dir=DIR] [--no-service]
-//              [--heavy-dup=P]
+//              [--heavy-dup=P] [--net] [--net-frames=N]
 //
 //   --seeds=N        total cases (cycling through the classes). Default 64.
 //   --first-seed=S   first seed of the range. Default 0.
@@ -17,6 +17,11 @@
 //   --no-service     skip the QueryService paths (faster under TSan).
 //   --heavy-dup=P    probability of key-collapsed (all-duplicate-key)
 //                    relations, the open-addressing worst case. Default 0.15.
+//   --net            also run every case through an fgq::net loopback
+//                    server (rows/count/enumerate-limit over a real socket).
+//   --net-frames=N   run N iterations of the wire-protocol frame fuzz
+//                    (mutated/garbage frames must never crash the decoders)
+//                    before the differential seeds.
 //
 // Reproduce a single failure with --seeds=1 --first-seed=S --classes=C.
 
@@ -26,6 +31,7 @@
 #include <string>
 
 #include "fgq/check/check.h"
+#include "fgq/check/net_fuzz.h"
 
 namespace {
 
@@ -50,6 +56,7 @@ bool ParseProb(const char* s, double* out) {
 int main(int argc, char** argv) {
   fgq::CheckOptions opt;
   opt.num_seeds = 64;
+  size_t net_frames = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,12 +92,31 @@ int main(int argc, char** argv) {
       opt.regress_dir = value("--regress-dir=");
     } else if (arg == "--no-service") {
       opt.fuzz.include_service = false;
+    } else if (arg == "--net") {
+      opt.fuzz.include_net = true;
+    } else if (arg.rfind("--net-frames=", 0) == 0 &&
+               ParseSize(value("--net-frames="), &n)) {
+      net_frames = n;
     } else if (arg.rfind("--heavy-dup=", 0) == 0 &&
                ParseProb(value("--heavy-dup="), &opt.fuzz.heavy_dup_prob)) {
       // Parsed in place.
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
+    }
+  }
+
+  if (net_frames > 0) {
+    fgq::check::FrameFuzzOptions fopt;
+    fopt.iterations = net_frames;
+    fopt.seed = opt.first_seed + 1;
+    const fgq::check::FrameFuzzReport frames = fgq::check::RunFrameFuzz(fopt);
+    std::printf("%s\n", frames.Summary().c_str());
+    if (!frames.ok()) {
+      for (const std::string& f : frames.failures) {
+        std::fprintf(stderr, "NET-FRAME FAILURE: %s\n", f.c_str());
+      }
+      return 1;
     }
   }
 

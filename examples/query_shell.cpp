@@ -60,7 +60,7 @@ void Classify(const ConjunctiveQuery& q) {
 void RunQuery(const Engine& engine, const ConjunctiveQuery& q,
               const Database& db, const Dictionary& dict) {
   Classify(q);
-  Result<QueryResult> res = engine.Execute(q, db);
+  Result<ExecResult> res = engine.Run(ExecRequest(q, db));
   if (!res.ok()) {
     std::cout << "  error: " << res.status() << "\n";
     return;

@@ -60,7 +60,7 @@ int main() {
 
   // 4. Execute: the engine picks the algorithm from the classification
   // and reports which one ran.
-  auto result = engine.Execute(*query, db);
+  auto result = engine.Run(ExecRequest(*query, db));
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return 1;
@@ -104,7 +104,7 @@ int main() {
   std::cout << "\nMatrix-shaped query: " << pi->ToString() << "\n"
             << "  class: " << QueryClassName(Engine::Classify(*pi))
             << ", star size: " << QuantifiedStarSize(*pi) << "\n";
-  auto reach = engine.Execute(*pi, db);
+  auto reach = engine.Run(ExecRequest(*pi, db));
   std::cout << "  engine ran " << reach->algorithm << ": |Reach(D)| = "
             << reach->NumAnswers() << "\n";
   std::cout << "  counting engine agrees: |Reach(D)| = "
@@ -114,7 +114,7 @@ int main() {
   // pool through preparation, semijoin sweeps, and index builds. Results
   // are identical to serial execution.
   Engine parallel(ExecOptions::Parallel(4));
-  auto par = parallel.Execute(*query, db);
+  auto par = parallel.Run(ExecRequest(*query, db));
   std::cout << "\nWith 4 threads: " << par->NumAnswers()
             << " answers (same as serial: " << std::boolalpha
             << (par->NumAnswers() == result->NumAnswers()) << ")\n";

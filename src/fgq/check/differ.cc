@@ -7,6 +7,8 @@
 #include "fgq/eval/engine.h"
 #include "fgq/eval/ucq_enum.h"
 #include "fgq/hypergraph/hypergraph.h"
+#include "fgq/net/client.h"
+#include "fgq/net/server.h"
 #include "fgq/serve/query_service.h"
 #include "fgq/util/hash.h"
 
@@ -125,14 +127,14 @@ class CaseDiffer {
 
     Engine serial{ExecOptions::Serial()};
     {
-      Result<QueryResult> r = serial.Execute(q, db_);
+      Result<ExecResult> r = serial.Run(ExecRequest(q, db_));
       Check("engine-serial", reference,
             r.ok() ? Result<Relation>(r.value().answers)
                    : Result<Relation>(r.status()));
     }
     {
       Engine parallel{ExecOptions::Parallel(opt_.parallel_threads)};
-      Result<QueryResult> r = parallel.Execute(q, db_);
+      Result<ExecResult> r = parallel.Run(ExecRequest(q, db_));
       Check("engine-parallel", reference,
             r.ok() ? Result<Relation>(r.value().answers)
                    : Result<Relation>(r.status()));
@@ -162,6 +164,7 @@ class CaseDiffer {
                       MakeConstantDelayEnumerator(q, db_));
     }
     if (opt_.include_service) DiffService(q, reference);
+    if (opt_.include_net) DiffNet(q, reference);
   }
 
   /// The serving-layer paths: cold, cache hit, count verb, post-mutation.
@@ -176,7 +179,7 @@ class CaseDiffer {
       ServiceRequest req;
       req.query = q;
       req.verb = ServeVerb::kRows;
-      ServiceResponse resp = service.Call(std::move(req));
+      ServiceResponse resp = service.Submit(std::move(req)).get();
       if (!resp.status.ok()) {
         out_->push_back(path + ": failed where the reference succeeded: " +
                         resp.status.ToString());
@@ -201,7 +204,7 @@ class CaseDiffer {
       ServiceRequest req;
       req.query = q;
       req.verb = ServeVerb::kCount;
-      ServiceResponse resp = service.Call(std::move(req));
+      ServiceResponse resp = service.Submit(std::move(req)).get();
       const BigInt want = BigInt::FromUint64(
           reference.arity() == 0 ? (reference.NumTuples() > 0 ? 1 : 0)
                                  : reference.NumTuples());
@@ -224,6 +227,143 @@ class CaseDiffer {
     service.Stop();
   }
 
+  /// The fgq::net loopback paths: the same query through a real socket
+  /// server (wire encode -> epoll shard -> QueryService -> wire decode),
+  /// pipelined with a count, a limited enumeration, and a ping. This is
+  /// the end-to-end guarantee behind BENCH_PR6: what the network serves
+  /// is bit-identical to what the engine computes.
+  void DiffNet(const ConjunctiveQuery& q, const Relation& reference) {
+    net::NetServerOptions nopts;
+    nopts.num_shards = 1;
+    Result<std::unique_ptr<net::NetServer>> server =
+        net::NetServer::Start(&db_, nopts);
+    if (!server.ok()) {
+      // Unsupported = no epoll on this platform; a legitimate skip.
+      if (server.status().code() != StatusCode::kUnsupported) {
+        out_->push_back("net-start: " + server.status().ToString());
+      }
+      return;
+    }
+    Result<std::unique_ptr<net::Client>> client =
+        net::Client::Connect("127.0.0.1", server.value()->port());
+    if (!client.ok()) {
+      out_->push_back("net-connect: " + client.status().ToString());
+      return;
+    }
+    net::Client& conn = *client.value();
+    const std::string text = q.ToString();
+
+    // Pipeline all four requests before reading any response: exercises
+    // frame reassembly and per-connection response ordering, not just
+    // request/reply ping-pong.
+    net::Request rows_req;
+    rows_req.id = 1;
+    rows_req.verb = net::Verb::kRows;
+    rows_req.query = text;
+    net::Request count_req;
+    count_req.id = 2;
+    count_req.verb = net::Verb::kCount;
+    count_req.query = text;
+    net::Request limit_req;
+    limit_req.id = 3;
+    limit_req.verb = net::Verb::kEnumerateLimit;
+    limit_req.limit = 2;
+    limit_req.query = text;
+    net::Request ping_req;
+    ping_req.id = 4;
+    ping_req.verb = net::Verb::kPing;
+    for (const net::Request* r :
+         {&rows_req, &count_req, &limit_req, &ping_req}) {
+      Status st = conn.Send(*r);
+      if (!st.ok()) {
+        out_->push_back("net-send: " + st.ToString());
+        return;
+      }
+    }
+
+    auto receive = [&](const net::Request& req,
+                       const char* path) -> Result<net::Response> {
+      ++paths_run_;
+      Result<net::Response> resp = conn.Receive(req.verb);
+      if (!resp.ok()) {
+        out_->push_back(std::string(path) + ": " + resp.status().ToString());
+        return resp;
+      }
+      if (resp.value().id != req.id) {
+        out_->push_back(std::string(path) + ": response id " +
+                        std::to_string(resp.value().id) +
+                        " for request id " + std::to_string(req.id) +
+                        " (ordering violated)");
+        return Status::Internal("out of order");
+      }
+      if (!resp.value().ok()) {
+        out_->push_back(std::string(path) +
+                        ": failed where the reference succeeded: " +
+                        resp.value().text);
+        return Status::Internal("remote error");
+      }
+      return resp;
+    };
+
+    const BigInt want_count = BigInt::FromUint64(
+        reference.arity() == 0 ? (reference.NumTuples() > 0 ? 1 : 0)
+                               : reference.NumTuples());
+
+    if (Result<net::Response> r = receive(rows_req, "net-rows"); r.ok()) {
+      Relation got(q.name(), r.value().arity);
+      if (r.value().arity == 0) {
+        for (uint64_t i = 0; i < r.value().nrows; ++i) got.AddNullary();
+      } else {
+        got.AppendRows(r.value().values.data(), r.value().num_rows());
+      }
+      Relation canon = Canon(got);
+      if (!SameAnswers(reference, canon)) {
+        out_->push_back(DescribeDiff("net-rows", reference, canon));
+      }
+    }
+    if (Result<net::Response> r = receive(count_req, "net-count"); r.ok()) {
+      if (r.value().count != want_count.ToString()) {
+        out_->push_back("net-count: expected " + want_count.ToString() +
+                        ", got " + r.value().count);
+      }
+    }
+    if (Result<net::Response> r = receive(limit_req, "net-limit"); r.ok()) {
+      const net::Response& resp = r.value();
+      if (resp.nrows > limit_req.limit) {
+        out_->push_back("net-limit: asked for at most " +
+                        std::to_string(limit_req.limit) + " answers, got " +
+                        std::to_string(resp.nrows));
+      } else if ((resp.nrows > 0) != (reference.NumTuples() > 0)) {
+        out_->push_back(std::string("net-limit: ") +
+                        (resp.nrows > 0 ? "answers for an empty query"
+                                        : "no answers for a nonempty query"));
+      } else if (resp.arity > 0) {
+        // Every truncated answer must be a genuine answer.
+        std::unordered_set<Tuple, VecHash> allowed;
+        for (size_t i = 0; i < reference.NumTuples(); ++i) {
+          const Value* row = reference.RowData(i);
+          allowed.insert(Tuple(row, row + reference.arity()));
+        }
+        for (size_t i = 0; i < resp.num_rows(); ++i) {
+          Tuple t(resp.values.begin() + i * resp.arity,
+                  resp.values.begin() + (i + 1) * resp.arity);
+          if (allowed.count(t) == 0) {
+            out_->push_back("net-limit: returned a tuple outside phi(D)");
+            break;
+          }
+        }
+      }
+    }
+    receive(ping_req, "net-ping");
+    server.value()->Stop();
+    const net::NetServerStats stats = server.value()->stats();
+    if (stats.protocol_errors != 0) {
+      out_->push_back("net: server counted " +
+                      std::to_string(stats.protocol_errors) +
+                      " protocol errors on a clean stream");
+    }
+  }
+
   /// The union paths.
   void DiffUnion(const UnionQuery& u, const Relation& reference) {
     {
@@ -243,7 +383,7 @@ class CaseDiffer {
       Relation merged(u.name, u.arity());
       Status failed = Status::OK();
       for (const ConjunctiveQuery& q : u.disjuncts) {
-        Result<QueryResult> r = serial.Execute(q, db_);
+        Result<ExecResult> r = serial.Run(ExecRequest(q, db_));
         if (!r.ok()) {
           failed = r.status();
           break;
@@ -310,7 +450,7 @@ std::vector<std::string> DiffCase(const UnionQuery& u, const Database& db,
           ReferenceEvaluate(u.disjuncts[i], db, opt.reference_limit);
       if (!dref.ok()) continue;
       Engine serial{ExecOptions::Serial()};
-      Result<QueryResult> r = serial.Execute(u.disjuncts[i], db);
+      Result<ExecResult> r = serial.Run(ExecRequest(u.disjuncts[i], db));
       differ.Check("disjunct-" + std::to_string(i) + "-engine",
                    dref.value(),
                    r.ok() ? Result<Relation>(r.value().answers)

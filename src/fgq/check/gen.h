@@ -81,6 +81,11 @@ struct FuzzOptions {
   /// Include the QueryService paths (cold / cache-hit / post-mutation /
   /// count verb) in the differential runner.
   bool include_service = true;
+  /// Include the fgq::net loopback paths (rows / count / enumerate-limit
+  /// verbs through a real socket server) in the differential runner. Off
+  /// by default: a server per case costs a TCP round trip and thread
+  /// startup; the corpus replay and the dedicated net fuzz turn it on.
+  bool include_net = false;
 };
 
 /// Generates one conjunctive query in the target class. The result always

@@ -50,27 +50,28 @@ QueryClass Engine::Classify(const ConjunctiveQuery& q) {
   return QueryClass::kGeneralAcyclic;
 }
 
-Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
-                                    const Database& db) const {
-  return ExecuteWith(q, db, ctx_);
+ExecContext Engine::ContextFor(const ExecRequest& req) const {
+  // Start from the engine's shared context (its pool); only a per-call
+  // ExecOptions override that actually differs forces a fresh pool.
+  ExecContext ctx =
+      (req.options.has_value() && !(*req.options == opts_))
+          ? ExecContext(*req.options)
+          : ctx_;
+  if (req.cancel.cancellable()) ctx = ctx.WithCancel(req.cancel);
+  if (req.trace != nullptr) ctx = ctx.WithTrace(req.trace);
+  return ctx;
 }
 
-Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
-                                    const Database& db,
-                                    const ExecOptions& opts) const {
-  if (opts == opts_) return ExecuteWith(q, db, ctx_);
-  return ExecuteWith(q, db, ExecContext(opts));
+Result<ExecResult> Engine::Run(const ExecRequest& req) const {
+  if (req.query == nullptr || req.db == nullptr) {
+    return Status::InvalidArgument("ExecRequest needs a query and a database");
+  }
+  return ExecuteWith(*req.query, *req.db, ContextFor(req));
 }
 
-Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
-                                    const Database& db,
-                                    const CancelToken& cancel) const {
-  return ExecuteWith(q, db, ctx_.WithCancel(cancel));
-}
-
-Result<QueryResult> Engine::Execute(const ConjunctiveQuery& q,
-                                    const Database& db,
-                                    const ExecContext& ctx) const {
+Result<ExecResult> Engine::Execute(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   const ExecContext& ctx) const {
   return ExecuteWith(q, db, ctx);
 }
 
@@ -139,23 +140,31 @@ Result<QueryResult> Engine::ExecuteWith(const ConjunctiveQuery& q,
   return Status::Internal("unhandled query class");
 }
 
-Result<BigInt> Engine::Count(const ConjunctiveQuery& q,
-                             const Database& db) const {
-  FGQ_RETURN_NOT_OK(q.Validate());
+Result<BigInt> Engine::Count(const ExecRequest& req) const {
+  if (req.query == nullptr || req.db == nullptr) {
+    return Status::InvalidArgument("ExecRequest needs a query and a database");
+  }
+  FGQ_RETURN_NOT_OK(req.query->Validate());
   // CountAnswers already dispatches: counting DP (Theorems 4.21/4.28) for
   // plain acyclic queries, oracle fallback for everything else.
-  return CountAnswers(q, db);
+  return CountAnswers(*req.query, *req.db);
 }
 
 Result<std::unique_ptr<AnswerEnumerator>> Engine::Enumerate(
-    const ConjunctiveQuery& q, const Database& db) const {
+    const ExecRequest& req) const {
+  if (req.query == nullptr || req.db == nullptr) {
+    return Status::InvalidArgument("ExecRequest needs a query and a database");
+  }
+  const ConjunctiveQuery& q = *req.query;
+  const Database& db = *req.db;
   FGQ_RETURN_NOT_OK(q.Validate());
+  const ExecContext ctx = ContextFor(req);
   switch (Classify(q)) {
     case QueryClass::kBooleanAcyclic:
     case QueryClass::kFreeConnexAcyclic:
-      return MakeConstantDelayEnumerator(q, db, ctx_);
+      return MakeConstantDelayEnumerator(q, db, ctx);
     case QueryClass::kGeneralAcyclic:
-      return MakeLinearDelayEnumerator(q, db, ctx_);
+      return MakeLinearDelayEnumerator(q, db, ctx);
     case QueryClass::kAcyclicDisequalities: {
       // Theorem 4.20's fast path needs a specific shape; fall back to
       // materializing when it declines.
@@ -166,7 +175,7 @@ Result<std::unique_ptr<AnswerEnumerator>> Engine::Enumerate(
     default:
       break;
   }
-  FGQ_ASSIGN_OR_RETURN(QueryResult res, Execute(q, db));
+  FGQ_ASSIGN_OR_RETURN(ExecResult res, Run(req));
   return MakeMaterializedEnumerator(std::move(res.answers));
 }
 

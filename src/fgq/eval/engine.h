@@ -2,6 +2,7 @@
 #define FGQ_EVAL_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "fgq/db/database.h"
@@ -23,9 +24,14 @@
 /// cyclic or negated), dispatches to the fastest applicable algorithm, and
 /// runs it on the engine's shared thread pool according to its
 /// ExecOptions. One Engine can serve many queries; it is immutable after
-/// construction and safe to share across request threads (each Execute
-/// call only reads the configuration and uses the internally synchronized
-/// pool).
+/// construction and safe to share across request threads (each call only
+/// reads the configuration and uses the internally synchronized pool).
+///
+/// The call surface is one request aggregate: build an ExecRequest (query
+/// + database + optional per-call options, cancel token, trace sink) and
+/// pass it to Run / Count / Enumerate. The historical Execute overloads
+/// (plain, per-call ExecOptions, CancelToken, raw ExecContext) are kept as
+/// thin deprecated shims over Run.
 
 namespace fgq {
 
@@ -56,8 +62,40 @@ enum class QueryClass {
 /// Stable human-readable name ("boolean-acyclic", "free-connex", ...).
 const char* QueryClassName(QueryClass c);
 
-/// The outcome of Engine::Execute.
-struct QueryResult {
+class TraceContext;  // src/fgq/trace/trace.h
+
+/// Everything one evaluation call needs, in one aggregate. The query and
+/// database are borrowed (non-owning, must outlive the call); the rest
+/// defaults to "the engine's configuration, no cancellation, no tracing".
+///
+///   ExecRequest req(q, db);
+///   req.cancel = CancelToken::WithTimeout(50ms);
+///   req.trace = &trace;
+///   auto res = engine.Run(req);
+///
+/// One struct instead of N overloads means a new knob (a future snapshot
+/// epoch, a compiled-plan hint) is one new field, not 2^k new signatures.
+struct ExecRequest {
+  const ConjunctiveQuery* query = nullptr;  ///< Required.
+  const Database* db = nullptr;             ///< Required.
+  /// Per-call options override. Unset = the engine's own options; a set
+  /// value whose thread count differs spins up a fresh pool for the call.
+  std::optional<ExecOptions> options;
+  /// Polled by the evaluation loops; a tripped token surfaces as
+  /// DeadlineExceeded/Cancelled with partial-work accounting. The default
+  /// inert token costs nothing.
+  CancelToken cancel;
+  /// Span/counter sink for per-phase attribution, or null (untraced fast
+  /// path). Not owned; must outlive the call.
+  TraceContext* trace = nullptr;
+
+  ExecRequest() = default;
+  ExecRequest(const ConjunctiveQuery& q, const Database& d)
+      : query(&q), db(&d) {}
+};
+
+/// The outcome of Engine::Run.
+struct ExecResult {
   /// phi(D), columns in head order (arity 0, nonempty marker for Boolean
   /// queries).
   Relation answers;
@@ -69,6 +107,9 @@ struct QueryResult {
   size_t NumAnswers() const { return answers.NumTuples(); }
   bool BooleanValue() const { return answers.NumTuples() > 0; }
 };
+
+/// Historical name of ExecResult (pre-ExecRequest API).
+using QueryResult = ExecResult;
 
 /// The unified entry point to every evaluation algorithm in the library.
 class Engine {
@@ -85,41 +126,70 @@ class Engine {
   /// query analysis; does not touch a database.
   static QueryClass Classify(const ConjunctiveQuery& q);
 
-  /// Evaluates phi(D) with the fastest algorithm for the query's class,
-  /// using the engine's options.
-  Result<QueryResult> Execute(const ConjunctiveQuery& q,
-                              const Database& db) const;
-  /// Same, with per-call options (a fresh pool is spun up when the
-  /// requested thread count differs from the engine's).
-  Result<QueryResult> Execute(const ConjunctiveQuery& q, const Database& db,
-                              const ExecOptions& opts) const;
-  /// Same, polling `cancel` in the evaluation loops: a tripped token makes
-  /// the call return DeadlineExceeded/Cancelled (with partial-work
-  /// accounting in the message) instead of running to completion. This is
-  /// the entry point the serving layer uses to enforce request deadlines.
-  Result<QueryResult> Execute(const ConjunctiveQuery& q, const Database& db,
-                              const CancelToken& cancel) const;
-  /// Fully explicit form: evaluate under a caller-assembled ExecContext
-  /// (pool + cancel token + trace sink). `Explain` and the serving layer
-  /// use this to attach a TraceContext for per-phase attribution.
-  Result<QueryResult> Execute(const ConjunctiveQuery& q, const Database& db,
-                              const ExecContext& ctx) const;
+  /// Evaluates phi(D) with the fastest algorithm for the query's class.
+  /// InvalidArgument when req.query/req.db is null.
+  Result<ExecResult> Run(const ExecRequest& req) const;
 
   /// Counts |phi(D)| without materializing answers: counting DP for
   /// acyclic queries (Theorems 4.21/4.28), oracle fallback otherwise.
-  Result<BigInt> Count(const ConjunctiveQuery& q, const Database& db) const;
+  /// (The counting DP is not yet cancellation-aware; req.cancel applies
+  /// to the oracle fallback only.)
+  Result<BigInt> Count(const ExecRequest& req) const;
 
   /// Streams the answers with the strongest delay guarantee available:
   /// constant delay for free-connex ACQs, linear delay for general ACQs,
   /// witness-based for ACQ with disequalities, materialize-then-replay
   /// otherwise.
   Result<std::unique_ptr<AnswerEnumerator>> Enumerate(
-      const ConjunctiveQuery& q, const Database& db) const;
+      const ExecRequest& req) const;
+
+  /// ------------------------------------------------------------------
+  /// Deprecated pre-ExecRequest surface, kept as thin shims over Run.
+  /// ------------------------------------------------------------------
+
+  [[deprecated("use Run(ExecRequest(q, db))")]]
+  Result<ExecResult> Execute(const ConjunctiveQuery& q,
+                             const Database& db) const {
+    return Run(ExecRequest(q, db));
+  }
+  [[deprecated("use Run with ExecRequest::options")]]
+  Result<ExecResult> Execute(const ConjunctiveQuery& q, const Database& db,
+                             const ExecOptions& opts) const {
+    ExecRequest req(q, db);
+    req.options = opts;
+    return Run(req);
+  }
+  [[deprecated("use Run with ExecRequest::cancel")]]
+  Result<ExecResult> Execute(const ConjunctiveQuery& q, const Database& db,
+                             const CancelToken& cancel) const {
+    ExecRequest req(q, db);
+    req.cancel = cancel;
+    return Run(req);
+  }
+  /// The raw-ExecContext form has no ExecRequest equivalent (cancel +
+  /// trace cover every in-tree use); defined out of line so it can reach
+  /// the private ExecuteWith.
+  [[deprecated("use Run with ExecRequest::cancel / ExecRequest::trace")]]
+  Result<ExecResult> Execute(const ConjunctiveQuery& q, const Database& db,
+                             const ExecContext& ctx) const;
+
+  /// Non-aggregate conveniences (still current API, used by the low-level
+  /// tests): equivalent to Run/Count/Enumerate on a default ExecRequest.
+  Result<BigInt> Count(const ConjunctiveQuery& q, const Database& db) const {
+    return Count(ExecRequest(q, db));
+  }
+  Result<std::unique_ptr<AnswerEnumerator>> Enumerate(
+      const ConjunctiveQuery& q, const Database& db) const {
+    return Enumerate(ExecRequest(q, db));
+  }
 
  private:
-  Result<QueryResult> ExecuteWith(const ConjunctiveQuery& q,
-                                  const Database& db,
-                                  const ExecContext& ctx) const;
+  Result<ExecResult> ExecuteWith(const ConjunctiveQuery& q,
+                                 const Database& db,
+                                 const ExecContext& ctx) const;
+  /// Assembles the per-call ExecContext from the request (options
+  /// override, cancel token, trace sink).
+  ExecContext ContextFor(const ExecRequest& req) const;
 
   ExecOptions opts_;
   ExecContext ctx_;

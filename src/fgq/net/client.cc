@@ -1,0 +1,103 @@
+#include "fgq/net/client.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fgq {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::WriteAll(const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd_, data + off, len - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::OK();
+}
+
+Status Client::Send(const Request& req) {
+  std::string buf;
+  EncodeRequest(req, &buf);
+  return WriteAll(buf.data(), buf.size());
+}
+
+Status Client::SendRaw(const std::string& bytes) {
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+Result<Response> Client::Receive(Verb verb) {
+  std::vector<uint8_t> payload;
+  for (;;) {
+    const FrameReader::State st = reader_.Next(&payload);
+    if (st == FrameReader::State::kFrame) {
+      Response resp;
+      FGQ_RETURN_NOT_OK(DecodeResponse(payload.data(), payload.size(), verb,
+                                       &resp));
+      return resp;
+    }
+    if (st == FrameReader::State::kError) return reader_.error();
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Internal("server closed the connection");
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+}
+
+Result<Response> Client::Call(const Request& req) {
+  FGQ_RETURN_NOT_OK(Send(req));
+  return Receive(req.verb);
+}
+
+void Client::ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace net
+}  // namespace fgq

@@ -25,6 +25,31 @@ bool QueryService::IsHeavy(QueryClass c) {
          c == QueryClass::kAcyclicOrderComparisons;
 }
 
+bool QueryService::TakesHeavyLane(const Pending& p) {
+  switch (p.req.lane) {
+    case LaneHint::kLight:
+      return false;
+    case LaneHint::kHeavy:
+      return true;
+    case LaneHint::kAuto:
+      break;
+  }
+  return IsHeavy(p.classification);
+}
+
+void QueryService::Resolve(Pending& p, ServiceResponse resp) {
+  // The future first, the hook second: a hook that signals an event loop
+  // must find the future already ready when the loop polls it.
+  auto on_done = std::move(p.req.on_done);
+  if (on_done) {
+    ServiceResponse copy = resp;
+    p.promise.set_value(std::move(resp));
+    on_done(copy);
+  } else {
+    p.promise.set_value(std::move(resp));
+  }
+}
+
 QueryService::QueryService(const Database* db, ServiceOptions opts)
     : db_(db),
       opts_(opts),
@@ -46,7 +71,7 @@ QueryService::QueryService(const Database* db, ServiceOptions opts)
 QueryService::~QueryService() { Stop(); }
 
 std::future<ServiceResponse> QueryService::Enqueue(ServiceRequest req,
-                                                   bool blocking,
+                                                   SubmitPolicy policy,
                                                    Status* reject) {
   auto p = std::make_unique<Pending>();
   p->classification = Engine::Classify(req.query);
@@ -58,10 +83,15 @@ std::future<ServiceResponse> QueryService::Enqueue(ServiceRequest req,
 
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (blocking) {
-      space_cv_.wait(lock, [this] {
+    if (policy.on_full == SubmitPolicy::OnFull::kBlock) {
+      auto have_space = [this] {
         return stopping_ || light_.size() + heavy_.size() < opts_.max_pending;
-      });
+      };
+      if (policy.max_wait.count() > 0) {
+        space_cv_.wait_for(lock, policy.max_wait, have_space);
+      } else {
+        space_cv_.wait(lock, have_space);
+      }
     }
     if (stopping_) {
       *reject = Status::Cancelled("service is stopping");
@@ -76,7 +106,7 @@ std::future<ServiceResponse> QueryService::Enqueue(ServiceRequest req,
           .GetCounter(std::string("serve.requests.") +
                       QueryClassName(p->classification))
           .Increment();
-      (IsHeavy(p->classification) ? heavy_ : light_).push_back(std::move(p));
+      (TakesHeavyLane(*p) ? heavy_ : light_).push_back(std::move(p));
       work_cv_.notify_one();
       return fut;
     }
@@ -85,20 +115,21 @@ std::future<ServiceResponse> QueryService::Enqueue(ServiceRequest req,
   ServiceResponse resp;
   resp.status = *reject;
   resp.classification = p->classification;
-  p->promise.set_value(std::move(resp));
+  Resolve(*p, std::move(resp));
   return fut;
 }
 
-std::future<ServiceResponse> QueryService::Submit(ServiceRequest req) {
+std::future<ServiceResponse> QueryService::Submit(ServiceRequest req,
+                                                  SubmitPolicy policy) {
   Status reject = Status::OK();
-  return Enqueue(std::move(req), /*blocking=*/true, &reject);
+  return Enqueue(std::move(req), policy, &reject);
 }
 
 Result<std::future<ServiceResponse>> QueryService::TrySubmit(
     ServiceRequest req) {
   Status reject = Status::OK();
   std::future<ServiceResponse> fut =
-      Enqueue(std::move(req), /*blocking=*/false, &reject);
+      Enqueue(std::move(req), SubmitPolicy::Reject(), &reject);
   if (!reject.ok()) return reject;
   return fut;
 }
@@ -140,7 +171,7 @@ void QueryService::Stop() {
     ServiceResponse resp;
     resp.status = Status::Cancelled("service stopped before execution");
     resp.classification = p->classification;
-    p->promise.set_value(std::move(resp));
+    Resolve(*p, std::move(resp));
   }
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -180,7 +211,7 @@ void QueryService::WorkerLoop() {
     space_cv_.notify_one();
 
     ServiceResponse resp = Process(*p);
-    p->promise.set_value(std::move(resp));
+    Resolve(*p, std::move(resp));
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -241,7 +272,8 @@ ServiceResponse QueryService::Process(Pending& p) {
         auto out = std::make_shared<Relation>(p.req.query.name(),
                                               p.req.query.arity());
         Tuple t;
-        while (cursor->Next(&t)) {
+        while ((p.req.limit == 0 || out->NumTuples() < p.req.limit) &&
+               cursor->Next(&t)) {
           if (p.req.query.arity() == 0) {
             out->AddNullary();
           } else {
@@ -279,7 +311,20 @@ ServiceResponse QueryService::Process(Pending& p) {
                      cached->answers->NumTuples());
       }
       if (p.req.verb == ServeVerb::kRows) {
-        resp.answers = cached->answers;
+        if (p.req.limit != 0 &&
+            p.req.limit < cached->answers->NumTuples()) {
+          // Truncated view of the shared materialized answers.
+          auto prefix = std::make_shared<Relation>(cached->answers->name(),
+                                                   cached->answers->arity());
+          if (cached->answers->arity() == 0) {
+            for (uint64_t i = 0; i < p.req.limit; ++i) prefix->AddNullary();
+          } else {
+            prefix->AppendRows(cached->answers->RowData(0), p.req.limit);
+          }
+          resp.answers = std::move(prefix);
+        } else {
+          resp.answers = cached->answers;
+        }
       } else {
         resp.count = BigInt::FromUint64(cached->answers->NumTuples());
       }
@@ -338,9 +383,10 @@ std::shared_ptr<const CachedPlan> QueryService::Prepare(Pending& p,
   }
   // Every other class: evaluate once, cache the materialized answers (they
   // serve both verbs; general-acyclic counts equal the answer count).
-  Result<QueryResult> res = engine_.Execute(
-      p.req.query, *db_,
-      engine_.context().WithCancel(p.cancel).WithTrace(p.req.trace));
+  ExecRequest exec(p.req.query, *db_);
+  exec.cancel = p.cancel;
+  exec.trace = p.req.trace;
+  Result<ExecResult> res = engine_.Run(exec);
   if (!res.ok()) {
     out->status = res.status();
     return nullptr;

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -41,8 +42,11 @@
 ///   order comparisons) whose worst case is exponential; at most
 ///   `max_concurrent_heavy` of them run at once, so a flood of cyclic
 ///   queries cannot occupy every worker and starve the O(||D||)
-///   free-connex traffic. When the queue is full, Submit blocks
-///   (backpressure) and TrySubmit fails with ResourceExhausted.
+///   free-connex traffic. What happens on a full queue is the caller's
+///   SubmitPolicy: kBlock applies backpressure (optionally bounded by
+///   `max_wait`), kReject resolves the future immediately with
+///   ResourceExhausted — the choice an event loop needs, since it can
+///   never block.
 /// * **Metrics.** Request counts per class, cache hits/misses, queue-wait
 ///   and execution-time histograms, all readable as a text dump (the
 ///   `\stats` verb of examples/fgq_serve.cpp).
@@ -77,11 +81,30 @@ struct ServiceOptions {
   ExecOptions exec;
 };
 
+/// Which admission lane a request takes. kAuto derives the lane from the
+/// query's classification (the default and almost always right); the
+/// explicit hints exist for front ends that know better — e.g. the net
+/// layer downgrading a client marked as best-effort to the heavy lane.
+enum class LaneHint : uint8_t {
+  kAuto,   ///< Heavy iff the classification is oracle-backed.
+  kLight,  ///< Force the light lane.
+  kHeavy,  ///< Force the throttled heavy lane.
+};
+
+struct ServiceResponse;
+
 struct ServiceRequest {
   ConjunctiveQuery query;
   ServeVerb verb = ServeVerb::kRows;
-  /// Per-request deadline; zero means no deadline.
+  /// kRows only: stop after this many answers (0 = all). On the cached
+  /// free-connex path the cursor is abandoned after `limit` steps, so k
+  /// answers cost O(k) — the constant-delay budget survives truncation.
+  uint64_t limit = 0;
+  /// Per-request execution deadline; zero means no deadline.
   std::chrono::nanoseconds timeout{0};
+  /// Admission lane (see LaneHint). The net layer and fgq_serve build
+  /// requests identically: verb + timeout + lane all live here.
+  LaneHint lane = LaneHint::kAuto;
   /// Optional trace sink for this request (not owned; must outlive the
   /// response future). The worker opens a `serve.request` span, plumbs
   /// the sink through the evaluation (prepare / sweeps / index build /
@@ -90,6 +113,30 @@ struct ServiceRequest {
   /// own TraceContext, so concurrent traces never interleave. Null (the
   /// default) keeps the request on the untraced fast path.
   TraceContext* trace = nullptr;
+  /// Completion hook, invoked exactly once after the response future
+  /// becomes ready — on the worker thread normally, on the submitting
+  /// thread for rejected requests, on the stopping thread for orphans.
+  /// This is how a non-blocking front end (the epoll server) learns a
+  /// response is ready without polling futures: the hook signals its
+  /// event loop. Must not block and must not call back into the service.
+  std::function<void(const ServiceResponse&)> on_done;
+};
+
+/// How Submit behaves when the bounded queue is full.
+struct SubmitPolicy {
+  enum class OnFull : uint8_t {
+    kBlock,   ///< Wait for space (backpressure), optionally bounded.
+    kReject,  ///< Resolve immediately with ResourceExhausted.
+  };
+  OnFull on_full = OnFull::kBlock;
+  /// kBlock only: the longest Submit may wait for queue space before
+  /// rejecting anyway. Zero = wait indefinitely.
+  std::chrono::nanoseconds max_wait{0};
+
+  static SubmitPolicy Block() { return SubmitPolicy{}; }
+  static SubmitPolicy Reject() {
+    return SubmitPolicy{OnFull::kReject, std::chrono::nanoseconds{0}};
+  }
 };
 
 struct ServiceResponse {
@@ -117,17 +164,22 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Enqueues a request, blocking while the queue is full (backpressure).
-  /// The future resolves when the request finishes, fails, or is
-  /// cancelled. Returns a ResourceExhausted response immediately if the
-  /// service is stopping.
-  std::future<ServiceResponse> Submit(ServiceRequest req);
+  /// The single submission entry point. Always returns a future; every
+  /// outcome — success, evaluation error, deadline, queue-full rejection,
+  /// service stopping — arrives as a ServiceResponse through it (and
+  /// through req.on_done, when set). The policy decides only what happens
+  /// while the queue is full: kBlock waits for space (bounded by
+  /// policy.max_wait when nonzero), kReject resolves immediately with
+  /// ResourceExhausted.
+  std::future<ServiceResponse> Submit(ServiceRequest req,
+                                      SubmitPolicy policy = SubmitPolicy());
 
-  /// Like Submit, but never blocks: fails with ResourceExhausted when the
-  /// queue is full.
+  /// Deprecated pre-SubmitPolicy surface, kept as thin shims.
+  [[deprecated("use Submit(req, SubmitPolicy::Reject())")]]
   Result<std::future<ServiceResponse>> TrySubmit(ServiceRequest req);
 
   /// Submit + wait (convenience for tests and the example shell).
+  [[deprecated("use Submit(req).get()")]]
   ServiceResponse Call(ServiceRequest req);
 
   /// Trips the CancelToken of every queued and in-flight request. Queued
@@ -166,7 +218,14 @@ class QueryService {
   /// (nullptr when the result must not be cached, e.g. after a deadline).
   std::shared_ptr<const CachedPlan> Prepare(Pending& p, ServiceResponse* out);
 
-  std::future<ServiceResponse> Enqueue(ServiceRequest req, bool blocking,
+  /// True when `p` takes the heavy lane (classification + lane hint).
+  static bool TakesHeavyLane(const Pending& p);
+
+  /// Fulfills the promise, then fires the on_done hook (in that order, so
+  /// the hook always observes a ready future).
+  static void Resolve(Pending& p, ServiceResponse resp);
+
+  std::future<ServiceResponse> Enqueue(ServiceRequest req, SubmitPolicy policy,
                                        Status* reject);
 
   const Database* db_;

@@ -236,9 +236,9 @@ Result<Explanation> Explain(const ConjunctiveQuery& q, const Database& db,
   out.witness = BuildWitness(q, out.classification);
   if (opts.execute) {
     auto trace = std::make_shared<TraceContext>();
-    FGQ_ASSIGN_OR_RETURN(
-        QueryResult res,
-        engine.Execute(q, db, engine.context().WithTrace(trace.get())));
+    ExecRequest req(q, db);
+    req.trace = trace.get();
+    FGQ_ASSIGN_OR_RETURN(ExecResult res, engine.Run(req));
     out.executed = true;
     out.num_answers = res.NumAnswers();
     out.algorithm = res.algorithm;

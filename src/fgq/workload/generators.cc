@@ -257,4 +257,31 @@ ConjunctiveQuery RandomChainNcq(size_t vars, size_t tuples_per_relation,
   return q;
 }
 
+Database ServeWorkloadDatabase(size_t tuples, uint64_t seed) {
+  Rng rng(seed);
+  const Value domain = static_cast<Value>(tuples / 4 + 4);
+  // Figure-1 relations...
+  Database db = Figure1Database(tuples, domain, &rng);
+  // ...plus a 2-path graph (E1, E2) and a unary filter B for the path and
+  // lookup queries of the mix.
+  db.PutRelation(RandomRelation("E1", 2, tuples, domain, &rng));
+  db.PutRelation(RandomRelation("E2", 2, tuples, domain, &rng));
+  db.PutRelation(RandomRelation("B", 1, tuples / 2 + 1, domain, &rng));
+  return db;
+}
+
+std::vector<ServeWorkloadQuery> ServeWorkloadMix() {
+  return {
+      // Free-connex: constant-delay enumeration off the cached plan.
+      {"Q(x) :- E1(x, y), B(x).", 4.0, "fc-lookup"},
+      {"Q(x1, x2, x3) :- R(x1, x2), S(x2, x3, y3), R2(x1, y1), "
+       "T(y3, y4, y5), S2(x2, y2).",
+       3.0, "figure1"},
+      // General-acyclic: served from materialized cached answers.
+      {"Q(x, z) :- E1(x, y), E2(y, z).", 2.0, "path2"},
+      // Count verb traffic rides the same cached plans.
+      {"Q(x, y) :- E1(x, y).", 1.0, "count-edges", /*count=*/true},
+  };
+}
+
 }  // namespace fgq

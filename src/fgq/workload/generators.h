@@ -98,6 +98,30 @@ DnfFormula RandomDnf(int num_vars, int clauses, int width, Rng* rng);
 ConjunctiveQuery RandomChainNcq(size_t vars, size_t tuples_per_relation,
                                 Value domain, Database* db, Rng* rng);
 
+/// One query of a serving mix, as wire-ready text plus its weight. The
+/// weights are relative (they need not sum to anything); a load generator
+/// draws queries proportionally.
+struct ServeWorkloadQuery {
+  std::string text;    ///< Parseable rule, e.g. "Q(x) :- E(x, y), B(y).".
+  double weight = 1;   ///< Relative frequency in the mix.
+  const char* label;   ///< Short name for reports ("figure1", "path2", ...).
+  bool count = false;  ///< True: issue as a count request, not rows.
+};
+
+/// The database every ServeWorkloadMix query runs against: the Figure-1
+/// relations plus E1/E2 path relations and a unary B, all sized by
+/// `tuples` and drawn deterministically from `seed`. One database serves
+/// the whole mix so a socket server can be pointed at a single immutable
+/// snapshot.
+Database ServeWorkloadDatabase(size_t tuples, uint64_t seed);
+
+/// The default serving query mix used by fgq_loadgen and the CI smoke:
+/// weighted toward the cheap classes (free-connex point lookups and the
+/// Figure-1 query) with a minority of general-acyclic and count traffic —
+/// a read-mostly OLTP-ish shape where the paper's per-class budgets are
+/// visible as separate latency modes.
+std::vector<ServeWorkloadQuery> ServeWorkloadMix();
+
 }  // namespace fgq
 
 #endif  // FGQ_WORKLOAD_GENERATORS_H_

@@ -226,11 +226,11 @@ TEST(ParallelEquivalence, Enumerators) {
 TEST(ParallelEquivalence, EngineExecute) {
   for (const Workload& w : EquivalenceWorkloads()) {
     Engine serial;
-    auto want = serial.Execute(w.query, w.db);
+    auto want = serial.Run(ExecRequest(w.query, w.db));
     ASSERT_TRUE(want.ok()) << w.label << ": " << want.status();
     for (int t : kThreadCounts) {
       Engine engine(Opts(t));
-      auto got = engine.Execute(w.query, w.db);
+      auto got = engine.Run(ExecRequest(w.query, w.db));
       ASSERT_TRUE(got.ok()) << w.label << "@" << t << ": " << got.status();
       EXPECT_EQ(got->classification, want->classification) << w.label;
       EXPECT_EQ(Key(got->answers), Key(want->answers))
@@ -242,7 +242,7 @@ TEST(ParallelEquivalence, EngineExecute) {
 TEST(ParallelEquivalence, EngineCountMatchesExecute) {
   for (const Workload& w : EquivalenceWorkloads()) {
     Engine engine(Opts(8));
-    auto res = engine.Execute(w.query, w.db);
+    auto res = engine.Run(ExecRequest(w.query, w.db));
     ASSERT_TRUE(res.ok()) << w.label << ": " << res.status();
     auto count = engine.Count(w.query, w.db);
     ASSERT_TRUE(count.ok()) << w.label << ": " << count.status();
@@ -262,8 +262,8 @@ TEST(ParallelEquivalence, EngineReuseAcrossQueries) {
   Engine ref;
   for (int round = 0; round < 3; ++round) {
     for (const Workload& w : EquivalenceWorkloads()) {
-      auto got = engine.Execute(w.query, w.db);
-      auto want = ref.Execute(w.query, w.db);
+      auto got = engine.Run(ExecRequest(w.query, w.db));
+      auto want = ref.Run(ExecRequest(w.query, w.db));
       ASSERT_TRUE(got.ok() && want.ok()) << w.label;
       EXPECT_EQ(Key(got->answers), Key(want->answers)) << w.label;
     }
@@ -303,7 +303,7 @@ TEST(Engine, EnumerateMatchesExecute) {
   Engine engine(Opts(2));
   for (const ConjunctiveQuery& q :
        {PathQuery(2), FullPathQuery(2), Q("Q(x) :- E1(x, y), x != y.")}) {
-    auto res = engine.Execute(q, db);
+    auto res = engine.Run(ExecRequest(q, db));
     ASSERT_TRUE(res.ok()) << q.ToString() << ": " << res.status();
     auto e = engine.Enumerate(q, db);
     ASSERT_TRUE(e.ok()) << q.ToString() << ": " << e.status();

@@ -108,11 +108,11 @@ TEST(QueryService, CacheHitReturnsIdenticalResults) {
   ServiceRequest req;
   req.query = Q("Q(x) :- E(x, y), B(y).");
 
-  ServiceResponse cold = service.Call(req);
+  ServiceResponse cold = service.Submit(req).get();
   ASSERT_TRUE(cold.status.ok()) << cold.status;
   EXPECT_FALSE(cold.cache_hit);
 
-  ServiceResponse warm = service.Call(req);
+  ServiceResponse warm = service.Submit(req).get();
   ASSERT_TRUE(warm.status.ok()) << warm.status;
   EXPECT_TRUE(warm.cache_hit);
   EXPECT_EQ(Rows(*warm.answers), Rows(*cold.answers));
@@ -124,10 +124,10 @@ TEST(QueryService, AlphaRenamedQueryHitsCache) {
   QueryService service(&db);
   ServiceRequest a;
   a.query = Q("Q(x) :- E(x, y), B(y).");
-  ASSERT_TRUE(service.Call(a).status.ok());
+  ASSERT_TRUE(service.Submit(a).get().status.ok());
   ServiceRequest b;
   b.query = Q("Q(u) :- E(u, v), B(v).");
-  ServiceResponse resp = service.Call(b);
+  ServiceResponse resp = service.Submit(b).get();
   ASSERT_TRUE(resp.status.ok());
   EXPECT_TRUE(resp.cache_hit);
 }
@@ -138,7 +138,7 @@ TEST(QueryService, MutationInvalidatesCachedPlans) {
   ServiceRequest req;
   req.query = Q("Q(x) :- E(x, y), B(y).");
 
-  ServiceResponse before = service.Call(req);
+  ServiceResponse before = service.Submit(req).get();
   ASSERT_TRUE(before.status.ok());
   EXPECT_EQ(Rows(*before.answers), (std::set<Tuple>{{0}, {1}}));
 
@@ -150,7 +150,7 @@ TEST(QueryService, MutationInvalidatesCachedPlans) {
   b.Add({3});
   db.PutRelation(std::move(b));
 
-  ServiceResponse after = service.Call(req);
+  ServiceResponse after = service.Submit(req).get();
   ASSERT_TRUE(after.status.ok());
   EXPECT_FALSE(after.cache_hit);
   EXPECT_EQ(Rows(*after.answers), (std::set<Tuple>{{0}, {1}}));
@@ -158,7 +158,7 @@ TEST(QueryService, MutationInvalidatesCachedPlans) {
   // output actually changes.
   ServiceRequest req2;
   req2.query = Q("P(y) :- B(y).");
-  ServiceResponse p1 = service.Call(req2);
+  ServiceResponse p1 = service.Submit(req2).get();
   ASSERT_TRUE(p1.status.ok());
   EXPECT_EQ(p1.answers->NumTuples(), 3u);
 }
@@ -168,13 +168,13 @@ TEST(QueryService, CountVerbMatchesRowCount) {
   QueryService service(&db);
   ServiceRequest rows;
   rows.query = Q("Q(x, y) :- E(x, y).");
-  ServiceResponse r = service.Call(rows);
+  ServiceResponse r = service.Submit(rows).get();
   ASSERT_TRUE(r.status.ok());
 
   ServiceRequest count;
   count.query = Q("Q(x, y) :- E(x, y).");
   count.verb = ServeVerb::kCount;
-  ServiceResponse c = service.Call(count);
+  ServiceResponse c = service.Submit(count).get();
   ASSERT_TRUE(c.status.ok());
   EXPECT_TRUE(c.cache_hit);  // Rows and count share the cached plan.
   EXPECT_EQ(c.count, BigInt(static_cast<int64_t>(r.answers->NumTuples())));
@@ -186,7 +186,7 @@ TEST(QueryService, BooleanAndNonFreeConnexClasses) {
 
   ServiceRequest boolean;
   boolean.query = Q("Q() :- E(x, y), B(y).");
-  ServiceResponse b = service.Call(boolean);
+  ServiceResponse b = service.Submit(boolean).get();
   ASSERT_TRUE(b.status.ok());
   EXPECT_EQ(b.classification, QueryClass::kBooleanAcyclic);
   EXPECT_EQ(b.answers->NumTuples(), 1u);  // Satisfiable.
@@ -195,10 +195,10 @@ TEST(QueryService, BooleanAndNonFreeConnexClasses) {
   // cached as materialized answers.
   ServiceRequest path;
   path.query = Q("Q(x, z) :- E(x, y), E(y, z).");
-  ServiceResponse p1 = service.Call(path);
+  ServiceResponse p1 = service.Submit(path).get();
   ASSERT_TRUE(p1.status.ok());
   EXPECT_EQ(p1.classification, QueryClass::kGeneralAcyclic);
-  ServiceResponse p2 = service.Call(path);
+  ServiceResponse p2 = service.Submit(path).get();
   ASSERT_TRUE(p2.status.ok());
   EXPECT_TRUE(p2.cache_hit);
   EXPECT_EQ(Rows(*p2.answers), Rows(*p1.answers));
@@ -206,7 +206,7 @@ TEST(QueryService, BooleanAndNonFreeConnexClasses) {
   // Cyclic triangle: oracle-backed, also cached as answers.
   ServiceRequest tri;
   tri.query = Q("T(x) :- E(x, y), E(y, z), E(z, x).");
-  ServiceResponse t = service.Call(tri);
+  ServiceResponse t = service.Submit(tri).get();
   ASSERT_TRUE(t.status.ok());
   EXPECT_EQ(t.classification, QueryClass::kCyclic);
   EXPECT_EQ(Rows(*t.answers), (std::set<Tuple>{{0}, {1}, {2}}));
@@ -221,13 +221,13 @@ TEST(QueryService, LruEvictionBoundsResidentPlans) {
        {"A(x) :- E(x, y).", "B(y) :- E(x, y).", "C(x) :- B(x)."}) {
     ServiceRequest req;
     req.query = Q(text);
-    ASSERT_TRUE(service.Call(req).status.ok()) << text;
+    ASSERT_TRUE(service.Submit(req).get().status.ok()) << text;
   }
   EXPECT_LE(service.cache().size(), 2u);
   // The first query was evicted; re-running it is a miss.
   ServiceRequest req;
   req.query = Q("A(x) :- E(x, y).");
-  EXPECT_FALSE(service.Call(req).cache_hit);
+  EXPECT_FALSE(service.Submit(req).get().cache_hit);
 }
 
 // ---- QueryService: deadlines and cancellation -------------------------------
@@ -238,7 +238,7 @@ TEST(QueryService, ZeroDeadlineCyclicQueryReturnsDeadlineExceeded) {
   ServiceRequest req;
   req.query = TriangleQuery();
   req.timeout = std::chrono::nanoseconds(1);
-  ServiceResponse resp = service.Call(req);
+  ServiceResponse resp = service.Submit(req).get();
   EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded)
       << resp.status;
   EXPECT_EQ(resp.classification, QueryClass::kCyclic);
@@ -255,7 +255,7 @@ TEST(QueryService, ZeroDeadlineFreeConnexReturnsDeadlineExceeded) {
   ServiceRequest req;
   req.query = Figure1Query();
   req.timeout = std::chrono::nanoseconds(1);
-  ServiceResponse resp = service.Call(req);
+  ServiceResponse resp = service.Submit(req).get();
   EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded)
       << resp.status;
 }
@@ -294,7 +294,7 @@ TEST(QueryService, StopCancelsQueuedRequests) {
 
 // ---- QueryService: admission control ----------------------------------------
 
-TEST(QueryService, TrySubmitRejectsWhenQueueFull) {
+TEST(QueryService, RejectPolicyBouncesWhenQueueFull) {
   Database db = TriangleDatabase(2000);
   ServiceOptions opts;
   opts.num_workers = 1;
@@ -302,7 +302,8 @@ TEST(QueryService, TrySubmitRejectsWhenQueueFull) {
   QueryService service(&db, opts);
 
   // Occupy the single worker with a slow cyclic query, then fill the
-  // one queue slot; the next TrySubmit must bounce.
+  // one queue slot; the next Reject-policy Submit must bounce — its
+  // future resolves immediately with ResourceExhausted.
   std::vector<std::future<ServiceResponse>> futs;
   ServiceRequest slow;
   slow.query = TriangleQuery();
@@ -310,21 +311,148 @@ TEST(QueryService, TrySubmitRejectsWhenQueueFull) {
 
   bool saw_rejection = false;
   for (int i = 0; i < 8 && !saw_rejection; ++i) {
-    Result<std::future<ServiceResponse>> r = service.TrySubmit(slow);
-    if (r.ok()) {
-      futs.push_back(std::move(r).value());
-    } else {
-      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
-          << r.status();
+    std::future<ServiceResponse> f =
+        service.Submit(slow, SubmitPolicy::Reject());
+    // A rejected future is ready before Submit returns; accepted slow
+    // triangles are not (and can only fail later with Cancelled).
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready &&
+        f.get().status.code() == StatusCode::kResourceExhausted) {
       saw_rejection = true;
+    } else {
+      futs.push_back(std::move(f));
     }
   }
   EXPECT_TRUE(saw_rejection);
   EXPECT_GE(service.metrics().GetCounter("serve.rejected").Value(), 1u);
 
   service.CancelAll();
+  for (auto& f : futs) {
+    if (f.valid()) f.get();
+  }
+}
+
+TEST(QueryService, BlockPolicyBoundedWaitTimesOut) {
+  Database db = TriangleDatabase(2000);
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  opts.max_pending = 1;
+  QueryService service(&db, opts);
+
+  std::vector<std::future<ServiceResponse>> futs;
+  ServiceRequest slow;
+  slow.query = TriangleQuery();
+  // Worker + the single queue slot: both occupied.
+  futs.push_back(service.Submit(slow));
+  futs.push_back(service.Submit(slow));
+
+  // A bounded blocking Submit must give up on its own instead of hanging.
+  SubmitPolicy bounded;
+  bounded.max_wait = std::chrono::milliseconds(50);
+  std::future<ServiceResponse> f = service.Submit(slow, bounded);
+  EXPECT_EQ(f.get().status.code(), StatusCode::kResourceExhausted);
+
+  service.CancelAll();
+  for (auto& fut : futs) fut.get();
+}
+
+TEST(QueryService, RowLimitTruncatesAnswers) {
+  Database db = TinyGraph();
+  QueryService service(&db);
+  ServiceRequest req;
+  req.query = Q("Q(x, y) :- E(x, y).");
+  req.limit = 1;
+  ServiceResponse one = service.Submit(req).get();
+  ASSERT_TRUE(one.status.ok()) << one.status;
+  EXPECT_EQ(one.answers->NumTuples(), 1u);
+
+  // The cached (materialized or cursor) path honors the limit too.
+  req.limit = 3;
+  ServiceResponse three = service.Submit(req).get();
+  ASSERT_TRUE(three.status.ok());
+  EXPECT_TRUE(three.cache_hit);
+  EXPECT_EQ(three.answers->NumTuples(), 3u);
+
+  req.limit = 0;  // 0 = everything.
+  ServiceResponse all = service.Submit(req).get();
+  ASSERT_TRUE(all.status.ok());
+  EXPECT_EQ(all.answers->NumTuples(), 4u);
+}
+
+TEST(QueryService, OnDoneHookFiresAfterFutureIsReady) {
+  Database db = TinyGraph();
+  QueryService service(&db);
+  ServiceRequest req;
+  req.query = Q("Q(x) :- E(x, y).");
+  std::promise<Status> hook;
+  std::future<Status> hooked = hook.get_future();
+  req.on_done = [&hook](const ServiceResponse& resp) {
+    hook.set_value(resp.status);
+  };
+  std::future<ServiceResponse> fut = service.Submit(std::move(req));
+  // The hook contract: it fires exactly once, after the future is ready.
+  ASSERT_EQ(hooked.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_TRUE(hooked.get().ok());
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(fut.get().status.ok());
+}
+
+TEST(QueryService, OnDoneHookFiresForRejectedRequests) {
+  Database db = TriangleDatabase(2000);
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  opts.max_pending = 1;
+  QueryService service(&db, opts);
+  std::vector<std::future<ServiceResponse>> futs;
+  ServiceRequest slow;
+  slow.query = TriangleQuery();
+  futs.push_back(service.Submit(slow));
+  futs.push_back(service.Submit(slow));
+
+  int fired = 0;
+  StatusCode seen = StatusCode::kOk;
+  for (int i = 0; i < 8; ++i) {
+    ServiceRequest req;
+    req.query = TriangleQuery();
+    req.on_done = [&fired, &seen](const ServiceResponse& resp) {
+      ++fired;  // Rejection fires the hook on this (submitting) thread.
+      seen = resp.status.code();
+    };
+    std::future<ServiceResponse> f =
+        service.Submit(std::move(req), SubmitPolicy::Reject());
+    if (fired > 0) {
+      futs.push_back(std::move(f));
+      break;
+    }
+    futs.push_back(std::move(f));
+  }
+  EXPECT_GE(fired, 1);
+  EXPECT_EQ(seen, StatusCode::kResourceExhausted);
+
+  service.CancelAll();
   for (auto& f : futs) f.get();
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(QueryService, DeprecatedShimsStillWork) {
+  // The pre-SubmitPolicy surface must keep its exact semantics until
+  // removal (see DESIGN.md): Call == Submit().get(), TrySubmit ==
+  // Reject policy with the rejection surfaced as a Status.
+  Database db = TinyGraph();
+  QueryService service(&db);
+  ServiceRequest req;
+  req.query = Q("Q(x) :- E(x, y), B(y).");
+  ServiceResponse resp = service.Call(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status;
+  EXPECT_EQ(Rows(*resp.answers), (std::set<Tuple>{{0}, {1}}));
+
+  Result<std::future<ServiceResponse>> r = service.TrySubmit(req);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(std::move(r).value().get().status.ok());
+}
+#pragma GCC diagnostic pop
 
 TEST(QueryService, HeavyLaneCannotStarveLightQueries) {
   Database db = TriangleDatabase(1500);
@@ -368,12 +496,12 @@ TEST(QueryService, MetricsCountersMatchIssuedRequests) {
   for (int i = 0; i < kFreeConnex; ++i) {
     ServiceRequest req;
     req.query = Q("Q(x) :- E(x, y), B(y).");
-    ASSERT_TRUE(service.Call(req).status.ok());
+    ASSERT_TRUE(service.Submit(req).get().status.ok());
   }
   for (int i = 0; i < kCyclic; ++i) {
     ServiceRequest req;
     req.query = Q("T(x) :- E(x, y), E(y, z), E(z, x).");
-    ASSERT_TRUE(service.Call(req).status.ok());
+    ASSERT_TRUE(service.Submit(req).get().status.ok());
   }
   MetricsRegistry& m = service.metrics();
   EXPECT_EQ(m.GetCounter("serve.requests").Value(),

@@ -122,7 +122,9 @@ TEST(Trace, EngineCountersMatchKnownTupleCounts) {
   Engine engine;
   TraceContext trace;
   ConjunctiveQuery q = Q("Q(x, y) :- E(x, y), B(y).");
-  auto res = engine.Execute(q, db, engine.context().WithTrace(&trace));
+  ExecRequest req(q, db);
+  req.trace = &trace;
+  auto res = engine.Run(req);
   ASSERT_TRUE(res.ok()) << res.status();
   // Scan touches every tuple of every atom exactly once: |E| + |B| = 6.
   EXPECT_EQ(trace.counter("tuples_scanned"), 6u);
@@ -136,8 +138,10 @@ TEST(Trace, EngineSpansNestUnderExecute) {
   Database db = TinyGraph();
   Engine engine;
   TraceContext trace;
-  auto res = engine.Execute(Q("Q(x, y) :- E(x, y), B(y)."), db,
-                            engine.context().WithTrace(&trace));
+  ConjunctiveQuery q = Q("Q(x, y) :- E(x, y), B(y).");
+  ExecRequest req(q, db);
+  req.trace = &trace;
+  auto res = engine.Run(req);
   ASSERT_TRUE(res.ok()) << res.status();
   std::vector<TraceContext::Event> evs = trace.events();
   ASSERT_FALSE(evs.empty());
@@ -160,7 +164,8 @@ TEST(Trace, EngineSpansNestUnderExecute) {
 TEST(Trace, UntracedExecutionStillWorks) {
   Database db = TinyGraph();
   Engine engine;
-  auto res = engine.Execute(Q("Q(x, y) :- E(x, y), B(y)."), db);
+  ConjunctiveQuery q = Q("Q(x, y) :- E(x, y), B(y).");
+  auto res = engine.Run(ExecRequest(q, db));
   ASSERT_TRUE(res.ok()) << res.status();
   EXPECT_EQ(res->NumAnswers(), 2u);
 }
@@ -289,7 +294,7 @@ TEST(Trace, ConcurrentServiceRequestsProduceDisjointTraces) {
                                : Q("Q(x, z) :- E(x, y), F(y, z).");
       req.verb = ServeVerb::kRows;
       req.trace = traces[static_cast<size_t>(i)].get();
-      ServiceResponse resp = service.Call(std::move(req));
+      ServiceResponse resp = service.Submit(std::move(req)).get();
       statuses[static_cast<size_t>(i)] = resp.status;
     });
   }
